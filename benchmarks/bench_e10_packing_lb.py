@@ -1,0 +1,59 @@
+"""E10 — Theorems 11/13: the tree-packing diameter lower bound family.
+
+Paper claim: there are λ-connected graphs of diameter O(log n) where every
+tree packing has all-but-O(log n) trees of diameter Ω(n/λ) — i.e., the
+O((n log n)/δ) diameter of the paper's own packing (Theorem 2) cannot be
+beaten by more than the log factor.
+
+Rows sweep the thick-path length of the GK13-style family; columns: host
+diameter (stays logarithmic), the per-tree diameter distribution of the
+Theorem 2 packing, and how many trees exceed the Ω(n/λ) threshold.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import run_once
+from repro.lower_bounds import measure_packing_diameters
+from repro.util.tables import Table
+
+
+def run_experiment():
+    table = Table(
+        ["length", "lam", "n", "host_D", "ln n", "parts", "tree_diams",
+         "deep(>=len/4)", "min_diam", "n/lam"],
+        title="E10 / Theorem 13 — packing diameters on the GK13 family",
+    )
+    rows = []
+    for length, lam in ((32, 32), (48, 32), (64, 32)):
+        rep = measure_packing_diameters(length, lam, C=1.0, seed=1)
+        table.add_row(
+            [
+                length,
+                lam,
+                rep.n,
+                rep.host_diameter,
+                round(math.log(rep.n), 1),
+                rep.parts,
+                str(rep.tree_diameters),
+                rep.trees_above(0.25),
+                rep.min_tree_diameter,
+                round(rep.n / rep.lam),
+            ]
+        )
+        rows.append(rep)
+    table.print()
+
+    for rep in rows:
+        # Host stays logarithmic…
+        assert rep.host_diameter <= 3 * math.log2(rep.n)
+        # …while almost all packed trees are Ω(n/λ) deep.
+        assert rep.trees_above(0.25) >= rep.parts - math.ceil(math.log2(rep.n) / 4)
+    # Shape: tree depth scales with the path length (the Ω(n/λ) scale).
+    assert rows[-1].max_tree_diameter > rows[0].max_tree_diameter
+    return rows
+
+
+def test_e10_packing_lb(benchmark):
+    run_once(benchmark, run_experiment)

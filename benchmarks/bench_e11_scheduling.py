@@ -1,0 +1,79 @@
+"""E11 — Theorem 12: random-delay scheduling of overlapping broadcasts.
+
+Paper claim ([Gha15b], used in Appendix B): J algorithms with congestion C
+and dilation d compose into one execution of O(C + d·log²n) rounds w.h.p.
+
+Rows sweep the number of overlapping tree-broadcast jobs (all sharing the
+same host edges); columns: stand-alone dilation, measured joint congestion,
+the O(C + d·log²n) budget, and the measured makespan with random delays vs
+the no-delay baseline.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import run_once
+from repro.graphs import random_regular
+from repro.primitives import run_bfs, run_scheduled_broadcast, run_tree_broadcast
+from repro.util.tables import Table
+
+
+def _jobs(g, num_jobs, k_per_job):
+    trees = {}
+    msgs = {}
+    mid = 1
+    for j in range(num_jobs):
+        trees[j] = run_bfs(g, j % g.n)
+        msgs[j] = {(j * 7) % g.n: list(range(mid, mid + k_per_job))}
+        mid += k_per_job
+    return trees, msgs
+
+
+def run_experiment():
+    g = random_regular(120, 10, seed=12)
+    k_per_job = 40
+    table = Table(
+        ["jobs", "dilation", "congestion", "budget(C+d·ln²n)", "makespan",
+         "makespan(no delay)", "within"],
+        title=f"E11 / Theorem 12 — scheduling overlapping broadcasts, n={g.n}",
+    )
+    ln2 = math.log(g.n) ** 2
+    rows = []
+    for num_jobs in (2, 4, 8):
+        trees, msgs = _jobs(g, num_jobs, k_per_job)
+        # Dilation: max stand-alone rounds.
+        dilation = max(
+            run_tree_broadcast(g, {0: trees[j]}, {0: msgs[j]}).rounds
+            for j in range(num_jobs)
+        )
+        sched = run_scheduled_broadcast(g, trees, msgs, seed=13)
+        base = run_scheduled_broadcast(g, trees, msgs, max_delay=0, seed=13)
+        budget = sched.congestion + dilation * ln2
+        table.add_row(
+            [
+                num_jobs,
+                dilation,
+                sched.congestion,
+                round(budget),
+                sched.makespan,
+                base.makespan,
+                sched.makespan <= budget,
+            ]
+        )
+        rows.append((num_jobs, dilation, sched, base, budget))
+    table.print()
+
+    for _, dilation, sched, _, budget in rows:
+        assert sched.makespan <= budget
+        assert sched.makespan >= dilation  # cannot beat the slowest job
+    # Shape: makespan grows sublinearly in the job count (smoothing works):
+    # 4× the jobs should cost well under 4× the 2-job makespan.
+    m2 = rows[0][2].makespan
+    m8 = rows[-1][2].makespan
+    assert m8 <= 3.5 * m2
+    return rows
+
+
+def test_e11_scheduling(benchmark):
+    run_once(benchmark, run_experiment)

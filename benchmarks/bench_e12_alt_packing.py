@@ -1,0 +1,71 @@
+"""E12 — Appendix A: Lemma 9 (k,d)-connectivity and the Theorem 10 packing.
+
+Two sub-tables:
+
+* **Lemma 9** — sampled node pairs on random-regular hosts: the number of
+  edge-disjoint short paths found vs the λ/5 target, and the max path
+  length vs the 16n/δ target.
+* **Theorem 10** — the congestion-penalized packing: λ trees, measured
+  congestion vs the O(log n) target, and max tree diameter vs the
+  O((n log n)/δ) target, swept over n.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import run_once
+from repro.core import (
+    greedy_low_diameter_packing,
+    kd_connectivity_witness,
+    lemma9_parameters,
+)
+from repro.graphs import random_regular
+from repro.util.tables import Table
+
+
+def run_experiment():
+    lemma9 = Table(
+        ["n", "lam", "pair", "paths_found", "target(λ/5)", "max_len",
+         "target(16n/δ)", "ok"],
+        title="E12a / Lemma 9 — (λ/5, 16n/δ)-connectivity witnesses",
+    )
+    l9_rows = []
+    for n, d, seed in ((100, 10, 1), (200, 16, 2), (400, 20, 3)):
+        g = random_regular(n, d, seed=seed)
+        k_t, d_t = lemma9_parameters(g, d)
+        for u, v in ((0, n // 2), (1, n - 1)):
+            ps = kd_connectivity_witness(g, u, v, max_paths=math.ceil(k_t))
+            ok = ps.count >= k_t and ps.max_length <= d_t
+            lemma9.add_row(
+                [n, d, f"{u}-{v}", ps.count, round(k_t, 1), ps.max_length,
+                 round(d_t), ok]
+            )
+            l9_rows.append(ok)
+    lemma9.print()
+    assert all(l9_rows)
+
+    thm10 = Table(
+        ["n", "lam(=trees)", "congestion", "target(3 ln n)", "max_diam",
+         "target(n ln n/δ)", "ok"],
+        title="E12b / Theorem 10 — greedy congestion-penalized packing",
+    )
+    t10_rows = []
+    for n, d, seed in ((100, 10, 4), (200, 16, 5), (400, 20, 6)):
+        g = random_regular(n, d, seed=seed)
+        packing = greedy_low_diameter_packing(g, d, seed=seed)
+        cong_target = 3 * math.log(n)
+        diam_target = n * math.log(n) / d
+        ok = packing.congestion <= cong_target and packing.max_diameter <= diam_target
+        thm10.add_row(
+            [n, d, packing.congestion, round(cong_target, 1),
+             packing.max_diameter, round(diam_target), ok]
+        )
+        t10_rows.append((packing, ok))
+    thm10.print()
+    assert all(ok for _, ok in t10_rows)
+    return l9_rows, t10_rows
+
+
+def test_e12_alt_packing(benchmark):
+    run_once(benchmark, run_experiment)

@@ -1,0 +1,73 @@
+"""E13 — scaling series: rounds vs n and vs λ (the Theorem 1 formula as data).
+
+The paper's bound O((n log n)/δ + (k log n)/λ) makes two falsifiable
+scaling predictions that the other experiments only probe pointwise:
+
+* **vs n** (λ, group size fixed; k = 2n): both algorithms grow linearly in
+  n here (D ∝ n on the thick cycle and k ∝ n), but with slopes separated by
+  ≈ λ'/1 — the fast curve stays a constant factor below textbook at every
+  n, i.e. the gap does not close as the network grows.
+* **vs λ** (n fixed; k fixed): textbook is flat (it never looks at λ),
+  while fast decreases ≈ 1/λ until the prologue/packing floor — the
+  "connectivity buys bandwidth" claim itself.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.core import fast_broadcast, textbook_broadcast, uniform_random_placement
+from repro.graphs import thick_cycle
+from repro.util.tables import Table
+
+
+def run_experiment():
+    # Series 1: n grows, λ = 20 fixed, k = 2n.
+    t1 = Table(
+        ["n", "k", "textbook", "fast", "ratio"],
+        title="E13a — rounds vs n (thick cycle, group=10, λ=20, k=2n)",
+    )
+    series1 = []
+    for groups in (8, 16, 32):
+        g = thick_cycle(groups, 10)
+        k = 2 * g.n
+        pl = uniform_random_placement(g.n, k, seed=groups)
+        text = textbook_broadcast(g, pl)
+        fast = fast_broadcast(g, pl, lam=20, C=1.5, seed=1, distributed_packing=False)
+        t1.add_row([g.n, k, text.rounds, fast.rounds,
+                    round(text.rounds / fast.rounds, 2)])
+        series1.append((g.n, text.rounds, fast.rounds))
+    t1.print()
+
+    # Shape: the speedup ratio is stable (does not collapse) as n grows.
+    ratios = [t / f for _, t, f in series1]
+    assert min(ratios) >= 1.5
+    assert max(ratios) / min(ratios) <= 2.0
+
+    # Series 2: n ≈ 192 fixed, λ sweeps via group size, k fixed.
+    t2 = Table(
+        ["n", "lam", "k", "textbook", "fast", "fast_pipeline"],
+        title="E13b — rounds vs λ (n≈192 fixed, k=600)",
+    )
+    series2 = []
+    k = 600
+    for groups, size in ((48, 4), (24, 8), (12, 16), (8, 24)):
+        g = thick_cycle(groups, size)
+        lam = 2 * size
+        pl = uniform_random_placement(g.n, k, seed=7)
+        text = textbook_broadcast(g, pl)
+        fast = fast_broadcast(g, pl, lam=lam, C=1.5, seed=2, distributed_packing=False)
+        t2.add_row([g.n, lam, k, text.rounds, fast.rounds,
+                    fast.phases["pipeline"]])
+        series2.append((lam, text.rounds, fast.rounds))
+    t2.print()
+
+    # Shape: fast rounds decrease monotonically in λ; the largest-λ point is
+    # at least 2.5x cheaper than the smallest-λ point.
+    fasts = [f for _, _, f in series2]
+    assert all(a >= b for a, b in zip(fasts, fasts[1:])), fasts
+    assert fasts[0] / fasts[-1] >= 2.5
+    return series1, series2
+
+
+def test_e13_scaling(benchmark):
+    run_once(benchmark, run_experiment)

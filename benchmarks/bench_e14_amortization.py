@@ -1,0 +1,64 @@
+"""E14 — amortizing the tree packing across broadcast instances (Question 2).
+
+The paper's framing of Question 2: once a good tree packing exists, *any
+subsequent* k-broadcast instance runs in Õ(OPT) — the packing is
+input-independent, so its cost amortizes. Theorem 2 makes even the first
+instance cheap; this experiment quantifies both effects:
+
+* instance 1 pays prologue + packing + pipeline,
+* instances 2..T reuse the packing (and, for repeat placements, could even
+  reuse the numbering; we re-run it, keeping the comparison honest) and pay
+  essentially pipeline only.
+
+Columns: per-instance rounds across 5 instances, the steady-state marginal
+cost, and the one-shot textbook cost for reference.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.core import (
+    build_packing_with_retry,
+    fast_broadcast,
+    num_parts,
+    textbook_broadcast,
+    uniform_random_placement,
+)
+from repro.graphs import thick_cycle
+from repro.util.tables import Table
+
+
+def run_experiment():
+    g = thick_cycle(15, 12)  # n = 180, λ = 24
+    lam, C, k = 24, 1.5, 540
+    parts = num_parts(lam, g.n, C)
+    packing, _ = build_packing_with_retry(g, parts, seed=3, distributed=True)
+
+    table = Table(
+        ["instance", "fast_rounds", "of which pipeline", "textbook"],
+        title=f"E14 / amortized broadcast — n={g.n}, λ={lam}, k={k}, {parts} trees",
+    )
+    per_instance = []
+    for i in range(5):
+        pl = uniform_random_placement(g.n, k, seed=100 + i)
+        fast = fast_broadcast(g, pl, packing=packing, seed=3)
+        if i == 0:
+            # Charge the construction to the first instance.
+            fast.phases["tree_packing"] = packing.construction_rounds
+        text = textbook_broadcast(g, pl)
+        table.add_row([i + 1, fast.rounds, fast.phases["pipeline"], text.rounds])
+        per_instance.append((fast, text))
+    table.print()
+
+    first = per_instance[0][0].rounds
+    steady = [f.rounds for f, _ in per_instance[1:]]
+    # Shape: steady-state cost < first instance; every instance beats the
+    # one-shot textbook run.
+    assert max(steady) < first
+    for fast, text in per_instance:
+        assert fast.rounds < text.rounds
+    return per_instance
+
+
+def test_e14_amortization(benchmark):
+    run_once(benchmark, run_experiment)

@@ -1,0 +1,88 @@
+"""E2 — Theorem 2 + §3.1: the random partition and its tree packing.
+
+Paper claims: (a) all λ' = λ/(C log n) color classes are spanning with
+diameter O((C n log n)/δ); (b) one parallel BFS turns them into λ'
+edge-disjoint spanning trees of the same depth scale, in O((n log n)/δ)
+rounds.
+
+Rows sweep λ (via the host family) at comparable n; columns report class
+count, worst class diameter vs bound, packing depth, and the certified
+construction rounds from the CONGEST simulator.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.core import (
+    build_packing_with_retry,
+    num_parts,
+    random_partition,
+    theorem2_diameter_bound,
+    validate_decomposition,
+)
+from repro.graphs import hypercube, random_regular, thick_cycle
+from repro.util.tables import Table
+
+
+def run_experiment():
+    C = 1.5
+    table = Table(
+        [
+            "graph",
+            "n",
+            "lam",
+            "parts",
+            "all_spanning",
+            "max_class_diam",
+            "bound",
+            "packing_depth",
+            "bfs_rounds",
+            "edge_disjoint",
+        ],
+        title="E2 / Theorem 2 — random partition & tree packing (C = 1.5)",
+    )
+    hosts = [
+        ("reg-d16", random_regular(300, 16, seed=1), 16),
+        ("reg-d24", random_regular(300, 24, seed=2), 24),
+        ("reg-d40", random_regular(300, 40, seed=3), 40),
+        ("hcube-8", hypercube(8), 8),
+        ("thick-24", thick_cycle(16, 12), 24),
+    ]
+    results = []
+    for name, g, lam in hosts:
+        parts = num_parts(lam, g.n, C=C)
+        decomp = random_partition(g, parts, seed=11)
+        rep = validate_decomposition(decomp, C=C)
+        packing, attempts = build_packing_with_retry(
+            g, parts, seed=11, distributed=True
+        )
+        table.add_row(
+            [
+                name,
+                g.n,
+                lam,
+                parts,
+                rep.all_spanning,
+                rep.max_diameter,
+                round(rep.bound),
+                packing.max_depth,
+                packing.construction_rounds,
+                packing.is_edge_disjoint,
+            ]
+        )
+        results.append((g, rep, packing))
+    table.print()
+
+    for g, rep, packing in results:
+        assert packing.is_edge_disjoint
+        assert packing.max_depth <= theorem2_diameter_bound(g.n, g.min_degree(), C)
+        # Certified construction cost ~ depth, not ~ n (per attempt).
+        assert packing.construction_rounds <= 8 * (packing.max_depth + 2)
+    # Shape: more λ → more trees at fixed n.
+    parts_by_lam = [p.size for _, _, p in results[:3]]
+    assert parts_by_lam == sorted(parts_by_lam)
+    return results
+
+
+def test_e2_decomposition(benchmark):
+    run_once(benchmark, run_experiment)

@@ -1,0 +1,81 @@
+"""E3 — Theorem 1 vs Lemma 1: the headline broadcast comparison.
+
+Paper claim: k-broadcast costs Õ((n+k)/λ) with the tree packing vs O(D+k)
+for the textbook pipeline, so on a high-λ, moderate-D host the fast
+algorithm wins for large k by a factor ≈ λ/log n, with a crossover at small
+k (where the textbook's lack of log-factors wins). On a λ = 1 control the
+fast algorithm degenerates to a single tree and cannot win.
+
+Rows sweep k on a thick cycle (n = 180, λ = 24, D = 7) plus the λ = 1
+barbell control; columns: measured rounds of both algorithms, prediction of
+each, and who wins.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.core import (
+    fast_broadcast,
+    textbook_broadcast,
+    uniform_random_placement,
+)
+from repro.graphs import barbell, diameter, thick_cycle
+from repro.theory import predict_fast_rounds, predict_textbook_rounds
+from repro.util.tables import Table
+
+
+def run_experiment():
+    g = thick_cycle(15, 12)  # n = 180, λ = δ = 24, D = 7 or 8
+    D = diameter(g)
+    lam = 24
+    C = 1.5
+    table = Table(
+        ["k", "textbook", "fast", "winner", "pred_text", "pred_fast", "speedup"],
+        title=f"E3 / Theorem 1 vs textbook — thick cycle n={g.n}, λ={lam}, D={D}",
+    )
+    rows = []
+    for k in (20, 90, 360, 1080):
+        pl = uniform_random_placement(g.n, k, seed=k)
+        text = textbook_broadcast(g, pl)
+        fast = fast_broadcast(g, pl, lam=lam, C=C, seed=5)
+        winner = "fast" if fast.rounds < text.rounds else "textbook"
+        table.add_row(
+            [
+                k,
+                text.rounds,
+                fast.rounds,
+                winner,
+                round(predict_textbook_rounds(D, k)),
+                round(predict_fast_rounds(g.n, k, 2 * 12, lam, C)),
+                round(text.rounds / fast.rounds, 2),
+            ]
+        )
+        rows.append((k, text, fast))
+    table.print()
+
+    # Shape: textbook wins (or ties) at tiny k; fast wins by a growing
+    # factor at large k.
+    small_k = rows[0]
+    large_k = rows[-1]
+    assert small_k[1].rounds <= small_k[2].rounds * 1.5
+    assert large_k[2].rounds < large_k[1].rounds
+    speedup = large_k[1].rounds / large_k[2].rounds
+    assert speedup >= 2.0, f"fast should win big at k={large_k[0]}: {speedup}"
+
+    # λ = 1 control: no speedup possible.
+    ctrl = barbell(40, bridge_len=10)
+    pl = uniform_random_placement(ctrl.n, 200, seed=9)
+    text = textbook_broadcast(ctrl, pl)
+    fast = fast_broadcast(ctrl, pl, lam=1, seed=9)
+    control = Table(
+        ["graph", "k", "textbook", "fast(λ=1)"],
+        title="E3 control — λ = 1 barbell: Ω(k) unavoidable",
+    )
+    control.add_row(["barbell", 200, text.rounds, fast.rounds])
+    control.print()
+    assert fast.rounds >= 0.5 * text.rounds  # no miracle on λ = 1
+    return rows
+
+
+def test_e3_broadcast(benchmark):
+    run_once(benchmark, run_experiment)

@@ -1,0 +1,102 @@
+"""E5 — lower bounds (Theorems 3, 8, 9): measured rounds vs information floors.
+
+Three sub-tables:
+
+* **Theorem 3**: every broadcast execution must sit above (sk/2−4)/(2wλ)
+  rounds; we run both algorithms with adversarial (cut-concentrated)
+  placements and print measured/bound slack — always ≥ 1, and for the fast
+  algorithm within an O(log n) band (that's universal optimality again,
+  seen from below).
+* **Theorem 8**: the Ω(n/λ) ID-learning floor under any APSP algorithm's
+  output requirement, vs the measured Õ(n/λ) broadcast of n ID messages.
+* **Theorem 9**: the hard weighted instance — the decoder proves any
+  α-approximation carries the bits; the floor is printed next to the cost
+  of shipping that information with the textbook algorithm on the instance.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.core import (
+    cut_adversarial_placement,
+    fast_broadcast,
+    textbook_broadcast,
+    uniform_random_placement,
+)
+from repro.graphs import min_cut, thick_cycle
+from repro.lower_bounds import (
+    decode_exponents,
+    theorem8_rounds_bound,
+    theorem9_instance,
+    verify_broadcast_meets_bound,
+)
+from repro.util.bits import message_bit_budget
+from repro.util.tables import Table
+
+import numpy as np
+
+
+def run_experiment():
+    g = thick_cycle(15, 12)  # n = 180, λ = 24
+    side, cut = min_cut(g)
+    lam = len(cut)
+    w = message_bit_budget(g.n)
+
+    t3 = Table(
+        ["algo", "k", "measured", "thm3_bound", "slack"],
+        title=f"E5a / Theorem 3 — cut-adversarial broadcast, λ={lam}",
+    )
+    slacks = []
+    for k in (240, 960):
+        pl = cut_adversarial_placement(g, side, k)
+        for name, res in (
+            ("textbook", textbook_broadcast(g, pl)),
+            ("fast", fast_broadcast(g, pl, lam=lam, C=1.5, seed=1)),
+        ):
+            cert = verify_broadcast_meets_bound(
+                g, k, res.rounds, message_bits=w, bandwidth_bits=w
+            )
+            t3.add_row([name, k, res.rounds, round(cert.bound_rounds, 1),
+                        round(cert.slack, 1)])
+            slacks.append((name, k, cert.slack))
+    t3.print()
+    assert all(s >= 1.0 for _, _, s in slacks)
+    # The fast algorithm's slack stays in an O(log n) band at large k.
+    fast_large = [s for name, k, s in slacks if name == "fast" and k == 960]
+    assert fast_large[0] <= 20 * np.log(g.n)
+
+    # Theorem 8: ship n ID messages; compare against the Ω(n/λ) floor.
+    t8 = Table(
+        ["n", "lam", "measured_id_broadcast", "thm8_floor"],
+        title="E5b / Theorem 8 — learning all IDs",
+    )
+    pl = {v: 1 for v in range(g.n)}
+    res = fast_broadcast(g, pl, lam=lam, C=1.5, seed=2)
+    floor = theorem8_rounds_bound(g.n, lam)
+    t8.add_row([g.n, lam, res.rounds, round(floor, 1)])
+    t8.print()
+    assert res.rounds >= floor
+
+    # Theorem 9: hard weighted instance — decoding + information floor.
+    t9 = Table(
+        ["n", "lam", "alpha", "kmax", "info_bits", "thm9_floor", "decode_ok"],
+        title="E5c / Theorem 9 — weighted APSP hard instance",
+    )
+    inst = theorem9_instance(120, 8, alpha=2.0, seed=3)
+    exact = inst.exact_distances_from_v1()
+    rng = np.random.default_rng(4)
+    approx = exact * (1.0 + rng.random(inst.n) * (inst.alpha - 1.0))
+    decoded = decode_exponents(inst, approx)
+    ok = bool(np.array_equal(decoded, inst.exponents))
+    t9.add_row(
+        [inst.n, inst.lam, inst.alpha, inst.kmax,
+         round(inst.information_bits()), round(inst.rounds_bound(), 1), ok]
+    )
+    t9.print()
+    assert ok
+    assert inst.rounds_bound() > 1
+    return slacks
+
+
+def test_e5_lower_bounds(benchmark):
+    run_once(benchmark, run_experiment)

@@ -1,0 +1,53 @@
+"""E6 — Theorem 4: (3,2)-approximate unweighted APSP in Õ(n/λ) rounds.
+
+Rows sweep λ at (roughly) fixed n on thick cycles; columns: cluster count
+(Õ(n/δ)), the round ledger split into simulated and charged phases, total
+rounds, the Õ(n/λ) reference scale, and the certified (3, 2) envelope.
+
+Shape assertions: the envelope holds everywhere (d ≤ d̃ ≤ 3d+2) and total
+rounds *decrease* as λ grows at fixed n — the sublinearity that separates
+this result from the Ω̃(n) general-graph APSP lower bounds.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.apsp import approx_apsp_unweighted, check_32_approximation
+from repro.graphs import thick_cycle
+from repro.util.tables import Table
+
+
+def run_experiment():
+    table = Table(
+        ["n", "lam", "clusters", "sim_rounds", "charged", "total", "n/lam",
+         "envelope_ok", "worst_mult"],
+        title="E6 / Theorem 4 — (3,2)-approximate unweighted APSP",
+    )
+    hosts = [
+        (thick_cycle(30, 4), 8),
+        (thick_cycle(15, 8), 16),
+        (thick_cycle(10, 12), 24),
+        (thick_cycle(8, 15), 30),
+    ]
+    rows = []
+    for g, lam in hosts:
+        res = approx_apsp_unweighted(g, lam=lam, C=1.5, seed=5)
+        ok, worst = check_32_approximation(g, res.estimate)
+        sim = sum(res.simulated_rounds.values())
+        charged = sum(res.charged_rounds.values())
+        table.add_row(
+            [g.n, lam, res.k_clusters, sim, charged, res.rounds,
+             round(g.n / lam, 1), ok, round(worst, 2)]
+        )
+        rows.append((g, lam, res, ok))
+    table.print()
+
+    assert all(ok for _, _, _, ok in rows)
+    # Shape: at n = 120 fixed, higher λ → cheaper broadcast phase.
+    sims = [sum(r.simulated_rounds.values()) for _, _, r, _ in rows]
+    assert sims[-1] < sims[0]
+    return rows
+
+
+def test_e6_apsp(benchmark):
+    run_once(benchmark, run_experiment)

@@ -1,0 +1,62 @@
+"""E7 — Theorem 5 / Corollary 1: weighted APSP via spanner broadcast.
+
+Rows sweep the Baswana–Sen parameter k ∈ {2, 3, 4, Cor.1's k}; columns:
+spanner size vs the k·n^{1+1/k} bound, measured stretch vs 2k−1, the
+broadcast rounds (the Õ(m̃/λ) term), and the O(k²) charge.
+
+Shape assertions: stretch ≤ 2k−1 everywhere; spanner size and broadcast
+rounds *decrease* in k while stretch increases — the paper's size/stretch
+trade-off, ending at Corollary 1's Õ(n/λ) point.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.apsp import (
+    approx_apsp_weighted,
+    check_weighted_stretch,
+    corollary1_k,
+)
+from repro.graphs import random_regular, random_weights
+from repro.util.tables import Table
+
+
+def run_experiment():
+    g = random_weights(random_regular(200, 24, seed=6), seed=7)
+    lam = 24
+    table = Table(
+        ["k", "stretch_bound", "spanner_m", "size_bound", "bcast_rounds",
+         "charged_k2", "total", "measured_stretch", "ok"],
+        title=f"E7 / Theorem 5 — weighted APSP on n={g.n}, m={g.m}, λ={lam}",
+    )
+    ks = [2, 3, 4, corollary1_k(g.n)]
+    rows = []
+    for k in sorted(set(ks)):
+        res = approx_apsp_weighted(g, k=k, lam=lam, C=1.5, seed=8)
+        ok, worst = check_weighted_stretch(g, res.estimate, k)
+        table.add_row(
+            [
+                k,
+                2 * k - 1,
+                res.spanner.m,
+                round(res.spanner.expected_size_bound(g.n)),
+                res.simulated_rounds["broadcast_spanner"],
+                res.charged_rounds["baswana_sen"],
+                res.rounds,
+                round(worst, 2),
+                ok,
+            ]
+        )
+        rows.append((k, res, ok, worst))
+    table.print()
+
+    assert all(ok for _, _, ok, _ in rows)
+    sizes = [r.spanner.m for _, r, _, _ in rows]
+    assert sizes == sorted(sizes, reverse=True), "spanner must shrink with k"
+    bcast = [r.simulated_rounds["broadcast_spanner"] for _, r, _, _ in rows]
+    assert bcast[-1] < bcast[0], "broadcast term must shrink with k"
+    return rows
+
+
+def test_e7_spanner_apsp(benchmark):
+    run_once(benchmark, run_experiment)

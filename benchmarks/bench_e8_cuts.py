@@ -1,0 +1,66 @@
+"""E8 — Theorem 7: (1+ε)-approximation of all cuts in Õ(n/(λε²)) rounds.
+
+Rows sweep ε; columns: sparsifier size (vs m), the broadcast rounds (the
+dominant Õ(n/(λε²)) term), charged sparsifier-construction rounds, and the
+max relative cut error over random + degree + minimum cuts, with the
+Spielman–Srivastava effective-resistance sampler as an independent
+cross-check column.
+
+Shape assertions: the measured error respects ε everywhere; smaller ε costs
+more rounds and a bigger sparsifier.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.cuts import (
+    approx_all_cuts,
+    effective_resistance_sparsifier,
+    evaluate_cut_quality,
+)
+from repro.graphs import thick_cycle
+from repro.util.tables import Table
+
+
+def run_experiment():
+    g = thick_cycle(12, 12)  # n = 144, λ = 24, m = 1728 (dense enough)
+    lam = 24
+    table = Table(
+        ["eps", "tau", "spars_m", "host_m", "bcast_rounds", "charged",
+         "max_err(KX)", "max_err(ER)", "ok"],
+        title=f"E8 / Theorem 7 — all-cuts approximation on n={g.n}, λ={lam}",
+    )
+    rows = []
+    # τ per the bundle_size scale: single-node (degree) cuts are the
+    # high-variance worst case, so τ must grow as ε shrinks.
+    for eps, tau in ((0.6, 3), (0.4, 4), (0.25, 5)):
+        res = approx_all_cuts(g, eps=eps, lam=lam, C=1.5, seed=9, tau=tau)
+        q = evaluate_cut_quality(g, res.sparsifier.sparsifier, seed=10)
+        er = effective_resistance_sparsifier(g, eps=eps, seed=11)
+        q_er = evaluate_cut_quality(g, er.sparsifier, seed=10)
+        ok = q["max_rel_error"] <= eps
+        table.add_row(
+            [
+                eps,
+                tau,
+                res.sparsifier.m,
+                g.m,
+                res.simulated_rounds["broadcast_sparsifier"],
+                res.charged_rounds["koutis_xu"],
+                round(q["max_rel_error"], 3),
+                round(q_er["max_rel_error"], 3),
+                ok,
+            ]
+        )
+        rows.append((eps, res, q, ok))
+    table.print()
+
+    assert all(ok for _, _, _, ok in rows)
+    # Shape: tighter ε → bigger sparsifier and more broadcast rounds.
+    sizes = [r.sparsifier.m for _, r, _, _ in rows]
+    assert sizes == sorted(sizes)
+    return rows
+
+
+def test_e8_cuts(benchmark):
+    run_once(benchmark, run_experiment)

@@ -1,0 +1,67 @@
+"""E9 — the unknown-λ exponential search (§1.1 Remark).
+
+Rows sweep the δ/λ gap (cliques joined by thin bridges: δ fixed by the
+clique, λ by the bridge width); columns: search iterations vs the
+⌈log(δ/λ)⌉+1 prediction, validation rounds spent, the accepted guess, and
+the end-to-end broadcast rounds with and without knowing λ.
+
+Shape assertions: iterations track log(δ/λ); the unknown-λ total stays
+within a constant factor of the known-λ run.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import run_once
+from repro.core import (
+    broadcast_unknown_lambda,
+    fast_broadcast,
+    uniform_random_placement,
+)
+from repro.graphs import path_of_cliques
+from repro.util.tables import Table
+
+
+def run_experiment():
+    table = Table(
+        ["delta", "lam", "log2(δ/λ)", "iterations", "accepted", "valid_rounds",
+         "rounds_unknown", "rounds_known"],
+        title="E9 / unknown-λ exponential search — path of cliques",
+    )
+    rows = []
+    for bridge in (12, 6, 3, 1):
+        g = path_of_cliques(4, 13, bridge)  # δ = 12, λ = bridge
+        delta = g.min_degree()
+        k = g.n
+        pl = uniform_random_placement(g.n, k, seed=1)
+        unknown, search = broadcast_unknown_lambda(g, pl, seed=2, C=1.0)
+        known = fast_broadcast(g, pl, lam=bridge, C=1.0, seed=2)
+        table.add_row(
+            [
+                delta,
+                bridge,
+                round(math.log2(delta / bridge), 1),
+                search.iterations,
+                search.accepted_guess,
+                search.total_validation_rounds,
+                unknown.rounds,
+                known.rounds,
+            ]
+        )
+        rows.append((delta, bridge, search, unknown, known))
+    table.print()
+
+    # Shape: iterations grow with the δ/λ gap, bounded by log2(δ/λ)+2.
+    iters = [s.iterations for _, _, s, _, _ in rows]
+    assert iters == sorted(iters)
+    for delta, bridge, search, _, _ in rows:
+        assert search.iterations <= math.log2(max(delta / bridge, 1)) + 2
+    # Shape: unknown-λ overhead is a constant factor.
+    for _, _, _, unknown, known in rows:
+        assert unknown.rounds <= 5 * known.rounds + 200
+    return rows
+
+
+def test_e9_lambda_search(benchmark):
+    run_once(benchmark, run_experiment)

@@ -1,0 +1,20 @@
+"""Shared helpers for the experiment benchmarks (E1–E12, DESIGN.md §5).
+
+Every benchmark:
+
+1. runs one full experiment sweep exactly once (``benchmark.pedantic`` with
+   a single round — the sweeps are minutes-scale, statistical timing noise
+   is irrelevant next to the *measured round counts*, which are exact),
+2. prints its table in the fixed layout EXPERIMENTS.md quotes,
+3. **asserts the paper-shape** (who wins, scaling direction, approximation
+   envelope) so a regression in any algorithm fails the bench run loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Surviving link sabotage with edge-disjoint trees (Section 1.2 mechanism).
+
+Scenario: an adversary (or a misbehaving switch ASIC) silently drops every
+frame on the links of one spanning tree. Because the Theorem 2 packing is
+**edge-disjoint**, assigning each message to r trees makes it survive the
+loss of any r−1 whole color classes — the elementary mechanism behind the
+Fischer–Parter resilient compilers the paper feeds.
+
+This example broadcasts 120 messages over a 3-tree packing while tree 0's
+edges are dead, at redundancy r = 1, 2, 3, and prints the coverage/cost
+trade-off. It also shows a lossy-network run (1% random frame drop).
+
+Run:  python examples/fault_tolerant_broadcast.py
+"""
+
+from repro.core import (
+    build_packing_with_retry,
+    redundant_broadcast,
+    tree_edge_ids,
+    uniform_random_placement,
+)
+from repro.graphs import edge_connectivity, thick_cycle
+
+
+def main() -> None:
+    g = thick_cycle(10, 10)  # n = 100, λ = 20
+    lam = edge_connectivity(g)
+    packing, _ = build_packing_with_retry(g, 3, seed=2, distributed=False)
+    print(f"network: n={g.n}, λ={lam}; packing: {packing.size} edge-disjoint trees\n")
+
+    k = 120
+    placement = uniform_random_placement(g.n, k, seed=3)
+    dead = tree_edge_ids(packing, 0)
+    print(f"adversary kills all {len(dead)} edges of tree 0\n")
+
+    print(f"{'redundancy':>10} {'rounds':>7} {'fully delivered':>16} {'min coverage':>13}")
+    for r in (1, 2, 3):
+        rep = redundant_broadcast(
+            g, placement, packing, redundancy=r, dead_edges=dead, seed=4
+        )
+        print(f"{r:>10} {rep.rounds:>7} {rep.fully_delivered:>9}/{rep.k:<6} "
+              f"{rep.min_coverage:>12.0%}")
+
+    print("\nr = 1 loses exactly the k/3 messages homed on the dead tree;")
+    print("r = 2 already recovers everything at ~2x the pipeline rounds.\n")
+
+    lossy = redundant_broadcast(
+        g, placement, packing, redundancy=2, drop_rate=0.01, seed=5
+    )
+    print(f"lossy network (1% frame drop, r=2): {lossy.fully_delivered}/{lossy.k} "
+          f"messages reached everyone; {lossy.dropped_messages} frames dropped "
+          f"in {lossy.rounds} rounds")
+
+
+if __name__ == "__main__":
+    main()

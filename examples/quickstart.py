@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: broadcast k messages through a highly connected network.
+
+This walks the paper's headline result end to end:
+
+1. build a λ-edge-connected network,
+2. scatter k = 4n messages across it,
+3. run the textbook O(D + k) broadcast (Lemma 1),
+4. run the paper's Õ((n + k)/λ) broadcast (Theorem 1),
+5. compare certified round counts against the Ω(k/λ) floor (Theorem 3).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    fast_broadcast,
+    textbook_broadcast,
+    uniform_random_placement,
+)
+from repro.graphs import diameter, edge_connectivity, thick_cycle
+from repro.lower_bounds import verify_broadcast_meets_bound
+from repro.util.bits import message_bit_budget
+
+
+def main() -> None:
+    # A "thick cycle": 15 groups of 12 nodes, adjacent groups fully joined.
+    # High edge connectivity (λ = 24) with a genuine diameter (D ≈ 7) —
+    # the regime the paper targets.
+    g = thick_cycle(15, 12)
+    lam = edge_connectivity(g)
+    D = diameter(g)
+    print(f"network: n={g.n} nodes, m={g.m} edges, λ={lam}, δ={g.min_degree()}, D={D}")
+
+    k = 4 * g.n
+    placement = uniform_random_placement(g.n, k, seed=42)
+    print(f"workload: k={k} messages at random nodes\n")
+
+    text = textbook_broadcast(g, placement)
+    print(f"textbook (Lemma 1):   {text.rounds:5d} rounds  {text.phases}")
+
+    fast = fast_broadcast(g, placement, lam=lam, C=1.5, seed=42)
+    print(f"fast (Theorem 1):     {fast.rounds:5d} rounds  {fast.phases}")
+    print(f"  -> {fast.parts} edge-disjoint spanning trees, "
+          f"max depth {fast.packing_max_depth}, "
+          f"congestion {fast.max_congestion} (vs {text.max_congestion} single-tree)")
+
+    speedup = text.rounds / fast.rounds
+    print(f"\nspeedup: {speedup:.1f}x  (theory predicts ~λ/log n = "
+          f"{lam / max(1, __import__('math').log(g.n)):.1f}x for k >> n)")
+
+    w = message_bit_budget(g.n)
+    cert = verify_broadcast_meets_bound(
+        g, k, fast.rounds, message_bits=w, bandwidth_bits=w
+    )
+    print(f"Theorem 3 floor: {cert.bound_rounds:.0f} rounds "
+          f"(measured/floor = {cert.slack:.1f} — universal optimality means "
+          f"this slack is O(log n))")
+
+
+if __name__ == "__main__":
+    main()

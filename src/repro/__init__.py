@@ -1,0 +1,25 @@
+"""repro — reproduction of "Fast Broadcast in Highly Connected Networks" (SPAA 2024).
+
+Public API highlights (see README.md for the tour):
+
+* :mod:`repro.graphs` — graph substrate and workload generators.
+* :mod:`repro.congest` — the CONGEST round simulator.
+* :mod:`repro.primitives` — BFS, leader election, pipelined tree broadcast,
+  aggregation, random-delay scheduling (Lemmas 1–4, Theorem 12).
+* :mod:`repro.core` — the paper's contribution: random low-diameter
+  edge-partitions (Theorem 2 / Lemma 5), tree packings, and the
+  Õ((n+k)/λ)-round k-broadcast (Theorem 1).
+* :mod:`repro.apsp` — approximate APSP applications (Theorems 4, 5, Cor. 1).
+* :mod:`repro.cuts` — (1+ε) all-cuts approximation (Theorem 7).
+* :mod:`repro.lower_bounds` — the paper's lower bounds (Theorems 3, 8, 9,
+  11, 13) as checkable bounds and hard-instance generators.
+* :mod:`repro.theory` — closed-form round-complexity predictions used by the
+  benchmark harness.
+"""
+
+__version__ = "1.0.0"
+
+from repro.graphs import Graph
+from repro.congest import Network, Simulator, NodeProgram
+
+__all__ = ["Graph", "Network", "Simulator", "NodeProgram", "__version__"]

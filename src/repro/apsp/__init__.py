@@ -1,0 +1,48 @@
+"""Approximate APSP applications of the broadcast algorithm (Section 4).
+
+* :mod:`~repro.apsp.clustering` — Õ(n/δ) constant-diameter clusters.
+* :mod:`~repro.apsp.prt` — Peleg–Roditty–Tal exact APSP (delayed BFS waves),
+  run on the cluster graph.
+* :mod:`~repro.apsp.unweighted` — Theorem 4: (3, 2)-approximation in Õ(n/λ).
+* :mod:`~repro.apsp.spanner` — Baswana–Sen (2k−1)-spanners.
+* :mod:`~repro.apsp.weighted` — Theorem 5 / Corollary 1: weighted APSP via
+  spanner broadcast.
+"""
+
+from repro.apsp.clustering import (
+    Clustering,
+    build_clustering,
+    center_sampling_probability,
+)
+from repro.apsp.prt import PRTResult, dfs_timestamps, prt_apsp
+from repro.apsp.unweighted import (
+    ApproxAPSPResult,
+    approx_apsp_unweighted,
+    check_32_approximation,
+)
+from repro.apsp.spanner import SpannerResult, baswana_sen_spanner, check_spanner_stretch
+from repro.apsp.weighted import (
+    WeightedAPSPResult,
+    approx_apsp_weighted,
+    corollary1_k,
+    check_weighted_stretch,
+)
+
+__all__ = [
+    "Clustering",
+    "build_clustering",
+    "center_sampling_probability",
+    "PRTResult",
+    "dfs_timestamps",
+    "prt_apsp",
+    "ApproxAPSPResult",
+    "approx_apsp_unweighted",
+    "check_32_approximation",
+    "SpannerResult",
+    "baswana_sen_spanner",
+    "check_spanner_stretch",
+    "WeightedAPSPResult",
+    "approx_apsp_weighted",
+    "corollary1_k",
+    "check_weighted_stretch",
+]

@@ -1,0 +1,135 @@
+"""Constant-diameter clustering for Theorem 4 (Section 4.1).
+
+Sample every node as a *center* independently with probability
+``p = c ln n / δ``; since every node has ≥ δ neighbors, w.h.p. every node is
+adjacent to a center (union bound: failure ≤ n · (1-p)^δ ≤ n^{1-c}).
+Every non-center joins a neighboring center's cluster via ``s(v)``; centers
+join themselves. The **cluster graph** G_c has the centers as nodes and an
+edge {c_i, c_j} whenever some G-edge runs between their clusters — so
+d_G(s(u), s(v)) ≤ 3·d_{G_c}(s(u), s(v)) (each virtual edge expands to ≤ 3
+G-edges), the key inequality behind the (3, 2)-approximation (Lemma 7).
+
+The whole construction costs **one CONGEST round**: centers announce
+themselves to their neighbors; everything else is local choice.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.util.errors import ValidationError
+from repro.util.rng import ensure_rng
+
+__all__ = ["Clustering", "build_clustering", "center_sampling_probability"]
+
+
+def center_sampling_probability(n: int, delta: int, c: float = 3.0) -> float:
+    """Theorem 4's ``p = c ln n / δ`` (capped at 1)."""
+    if delta < 1:
+        raise ValidationError("δ must be >= 1")
+    return min(1.0, c * math.log(max(n, 2)) / delta)
+
+
+@dataclass
+class Clustering:
+    """Clusters, the membership map s(·), and the virtual cluster graph.
+
+    Attributes
+    ----------
+    centers: node ids of the sampled centers, sorted; cluster ``i`` is
+        centered at ``centers[i]``.
+    s: ``s[v]`` = cluster index (into ``centers``) of node v's cluster.
+    cluster_graph: the virtual graph G_c on cluster indices.
+    rounds: CONGEST rounds spent (1: the center announcement).
+    """
+
+    graph: Graph
+    centers: list[int]
+    s: np.ndarray
+    cluster_graph: Graph
+    rounds: int
+
+    @property
+    def k(self) -> int:
+        """Number of clusters (the paper's k in Section 4.1)."""
+        return len(self.centers)
+
+    def center_of(self, v: int) -> int:
+        return self.centers[int(self.s[v])]
+
+    def members(self, i: int) -> np.ndarray:
+        return np.nonzero(self.s == i)[0]
+
+    def validate(self) -> None:
+        """Check the structural invariants Lemma 7's proof uses."""
+        g = self.graph
+        for v in range(g.n):
+            cv = self.center_of(v)
+            if v != cv and not g.has_edge(v, cv):
+                raise ValidationError(
+                    f"node {v} joined non-adjacent center {cv}"
+                )
+        # Every cluster-graph edge is witnessed by a G-edge and vice versa.
+        expected = set()
+        for u, v in g.edges():
+            cu, cv = int(self.s[u]), int(self.s[v])
+            if cu != cv:
+                expected.add((min(cu, cv), max(cu, cv)))
+        actual = set(self.cluster_graph.edges())
+        if expected != actual:
+            raise ValidationError("cluster graph edges inconsistent with G")
+
+
+def build_clustering(graph: Graph, c: float = 3.0, seed=None, max_tries: int = 20) -> Clustering:
+    """Sample centers and build the cluster graph (Theorem 4, step 1).
+
+    Retries (fresh coins) if some node has no center neighbor — the paper's
+    w.h.p. event; with the default c = 3 a retry is rare already at n ≈ 100.
+    Ties (several center neighbors) resolve to the smallest center id,
+    matching the deterministic conventions used elsewhere.
+    """
+    rng = ensure_rng(seed)
+    delta = graph.min_degree()
+    p = center_sampling_probability(graph.n, delta, c)
+    for _ in range(max_tries):
+        is_center = rng.random(graph.n) < p
+        if not is_center.any():
+            continue
+        centers = np.nonzero(is_center)[0]
+        index_of = {int(v): i for i, v in enumerate(centers.tolist())}
+        s = np.full(graph.n, -1, dtype=np.int64)
+        ok = True
+        for v in range(graph.n):
+            if is_center[v]:
+                s[v] = index_of[v]
+                continue
+            nbrs = graph.neighbors(v)
+            center_nbrs = nbrs[is_center[nbrs]]
+            if center_nbrs.size == 0:
+                ok = False
+                break
+            s[v] = index_of[int(center_nbrs[0])]
+        if not ok:
+            continue
+        edges = set()
+        for u, v in graph.edges():
+            cu, cv = int(s[u]), int(s[v])
+            if cu != cv:
+                edges.add((min(cu, cv), max(cu, cv)))
+        cluster_graph = Graph(len(centers), sorted(edges))
+        return Clustering(
+            graph=graph,
+            centers=[int(v) for v in centers.tolist()],
+            s=s,
+            cluster_graph=cluster_graph,
+            rounds=1,
+        )
+    raise ValidationError(
+        "clustering failed: some node had no center neighbor in "
+        f"{max_tries} attempts (increase c; δ={delta} may be too small "
+        f"for n={graph.n})"
+    )

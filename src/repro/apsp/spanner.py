@@ -1,0 +1,169 @@
+"""Baswana–Sen (2k−1)-spanners for weighted graphs [BS07].
+
+Theorem 5 broadcasts a spanner, so the substrate must *build* one: this is a
+full implementation of the Baswana–Sen randomized clustering algorithm —
+k−1 cluster-sampling phases followed by the cluster-joining phase — which
+produces a (2k−1)-spanner with expected ``O(k · n^{1+1/k})`` edges. The
+distributed version runs in O(k²) CONGEST rounds (the paper's charge); the
+computation here follows the per-node local rules verbatim, so the output
+distribution matches the distributed execution.
+
+Invariants tested in ``tests/test_spanner.py``:
+
+* stretch: ``d_H(u,v) ≤ (2k−1)·d_G(u,v)`` for all pairs,
+* size: |E_H| concentrated around ``k·n^{1+1/k}``,
+* H ⊆ G with original weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.util.errors import ValidationError
+from repro.util.rng import ensure_rng
+
+__all__ = ["SpannerResult", "baswana_sen_spanner", "check_spanner_stretch"]
+
+
+@dataclass
+class SpannerResult:
+    """A spanner subgraph plus its construction accounting."""
+
+    spanner: Graph
+    k: int
+    edge_ids: np.ndarray  # ids (in the host graph) of the spanner edges
+    charged_rounds: int  # O(k²), the paper's CONGEST cost for [BS07]
+
+    @property
+    def m(self) -> int:
+        return self.spanner.m
+
+    def expected_size_bound(self, n: int) -> float:
+        return self.k * n ** (1.0 + 1.0 / self.k)
+
+
+def _lightest_per_cluster(
+    graph: Graph, v: int, cluster_of: np.ndarray
+) -> dict[int, tuple[float, int]]:
+    """For node v: cluster -> (weight, edge id) of the lightest edge into it.
+
+    Clusters are identified by center id; ``-1`` entries in ``cluster_of``
+    (unclustered neighbors) are skipped. Ties break toward the smaller edge
+    id for determinism.
+    """
+    best: dict[int, tuple[float, int]] = {}
+    nbrs = graph.neighbors(v)
+    eids = graph.incident_edge_ids(v)
+    for u, eid in zip(nbrs.tolist(), eids.tolist()):
+        cu = int(cluster_of[u])
+        if cu < 0:
+            continue
+        w = graph.edge_weight(eid)
+        cur = best.get(cu)
+        if cur is None or (w, eid) < cur:
+            best[cu] = (w, eid)
+    return best
+
+
+def baswana_sen_spanner(graph: Graph, k: int, seed=None) -> SpannerResult:
+    """Construct a (2k−1)-spanner with expected O(k·n^{1+1/k}) edges.
+
+    ``k = 1`` returns the graph itself (stretch 1). Unweighted graphs are
+    treated as weight-1 graphs (the standard reduction).
+    """
+    if k < 1:
+        raise ValidationError("k must be >= 1")
+    n = graph.n
+    if k == 1:
+        return SpannerResult(
+            spanner=graph,
+            k=1,
+            edge_ids=np.arange(graph.m, dtype=np.int64),
+            charged_rounds=1,
+        )
+    rng = ensure_rng(seed)
+    p = n ** (-1.0 / k)
+
+    spanner_edges: set[int] = set()
+    # cluster_of[v] = center id of v's cluster at the current level, -1 if v
+    # has left the clustering.
+    cluster_of = np.arange(n, dtype=np.int64)  # level 0: singletons
+    active = np.ones(n, dtype=bool)  # still clustered
+
+    for _phase in range(k - 1):
+        centers = np.unique(cluster_of[active & (cluster_of >= 0)])
+        sampled_mask = rng.random(len(centers)) < p
+        sampled = set(centers[sampled_mask].tolist())
+
+        new_cluster = np.full(n, -1, dtype=np.int64)
+        # Sampled clusters survive wholesale.
+        for v in range(n):
+            if active[v] and int(cluster_of[v]) in sampled:
+                new_cluster[v] = cluster_of[v]
+
+        for v in range(n):
+            if not active[v] or int(cluster_of[v]) in sampled:
+                continue
+            best = _lightest_per_cluster(graph, v, np.where(active, cluster_of, -1))
+            best_sampled: tuple[float, int, int] | None = None  # (w, eid, center)
+            for center, (w, eid) in best.items():
+                if center in sampled:
+                    cand = (w, eid, center)
+                    if best_sampled is None or cand < best_sampled:
+                        best_sampled = cand
+            if best_sampled is None:
+                # No sampled neighbor cluster: add lightest edge to *every*
+                # neighboring cluster; v leaves the clustering.
+                for center, (w, eid) in best.items():
+                    spanner_edges.add(eid)
+                new_cluster[v] = -1
+            else:
+                # Join the lightest sampled cluster; also add the lightest
+                # edge to each neighboring cluster strictly lighter than it.
+                w_s, eid_s, center_s = best_sampled
+                spanner_edges.add(eid_s)
+                new_cluster[v] = center_s
+                for center, (w, eid) in best.items():
+                    if (w, eid) < (w_s, eid_s):
+                        spanner_edges.add(eid)
+        cluster_of = new_cluster
+        active = cluster_of >= 0
+
+    # Phase 2: every node (clustered or not) connects to each adjacent
+    # surviving cluster with its lightest edge.
+    final_clusters = np.where(active, cluster_of, -1)
+    for v in range(n):
+        best = _lightest_per_cluster(graph, v, final_clusters)
+        for center, (w, eid) in best.items():
+            if active[v] and int(cluster_of[v]) == center:
+                continue  # intra-cluster edges are not needed
+            spanner_edges.add(eid)
+
+    ids = np.array(sorted(spanner_edges), dtype=np.int64)
+    mask = np.zeros(graph.m, dtype=bool)
+    mask[ids] = True
+    sub = graph.edge_subgraph(mask)
+    return SpannerResult(
+        spanner=sub, k=k, edge_ids=ids, charged_rounds=k * k
+    )
+
+
+def check_spanner_stretch(graph: Graph, spanner: Graph, k: int) -> tuple[bool, float]:
+    """Verify ``d_H ≤ (2k−1)·d_G`` for all pairs; returns (ok, max stretch).
+
+    Uses scipy's compiled Dijkstra on both graphs; infinite spanner
+    distances (disconnection) fail immediately.
+    """
+    from scipy.sparse.csgraph import dijkstra
+
+    dg = dijkstra(graph.to_scipy_csr(), directed=False)
+    dh = dijkstra(spanner.to_scipy_csr(), directed=False)
+    if np.isinf(dh).any():
+        return False, float("inf")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        stretch = np.where(dg > 0, dh / np.maximum(dg, 1e-300), 1.0)
+    worst = float(stretch.max())
+    return worst <= 2 * k - 1 + 1e-9, worst

@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Gives the library a shell-usable surface for quick experiments:
+
+* ``info``       — graph family parameters (n, m, δ, λ, D),
+* ``broadcast``  — run a k-broadcast (fast / textbook / combined /
+  unknown-lambda) and print the certified per-phase round ledger,
+* ``packing``    — build and report a Theorem 2 tree packing,
+* ``apsp``       — the Theorem 4 or Theorem 5 distance pipeline,
+* ``cuts``       — the Theorem 7 all-cuts pipeline.
+
+Graph specs are ``family:key=value,...`` — e.g. ``reg:n=200,d=16,seed=1``,
+``thick:groups=12,size=10``, ``hypercube:dim=8``, ``torus:rows=8,cols=9``,
+``cliques:num=4,size=12,bridge=3``, ``gk13:length=32,lam=16``,
+``barbell:clique=10,bridge=2``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.graphs import (
+    Graph,
+    barbell,
+    diameter,
+    edge_connectivity,
+    ghaffari_kuhn_family,
+    hypercube,
+    path_of_cliques,
+    random_regular,
+    random_weights,
+    thick_cycle,
+    torus_grid,
+)
+from repro.util.errors import ReproError
+
+__all__ = ["parse_graph_spec", "main"]
+
+
+def _kwargs(spec: str) -> dict[str, int]:
+    out: dict[str, int] = {}
+    if not spec:
+        return out
+    for part in spec.split(","):
+        if "=" not in part:
+            raise ValueError(f"bad spec fragment {part!r} (expected key=value)")
+        key, value = part.split("=", 1)
+        out[key.strip()] = int(value)
+    return out
+
+
+def parse_graph_spec(spec: str) -> Graph:
+    """Build a graph from a ``family:key=value,...`` spec string."""
+    family, _, rest = spec.partition(":")
+    kw = _kwargs(rest)
+    try:
+        if family == "reg":
+            return random_regular(kw["n"], kw["d"], seed=kw.get("seed", 0))
+        if family == "thick":
+            return thick_cycle(kw["groups"], kw["size"])
+        if family == "hypercube":
+            return hypercube(kw["dim"])
+        if family == "torus":
+            return torus_grid(kw["rows"], kw["cols"])
+        if family == "cliques":
+            return path_of_cliques(kw["num"], kw["size"], kw["bridge"])
+        if family == "gk13":
+            return ghaffari_kuhn_family(kw["length"], kw["lam"])
+        if family == "barbell":
+            return barbell(kw["clique"], kw.get("bridge", 1))
+    except KeyError as err:
+        raise ValueError(f"graph spec {spec!r} is missing parameter {err}") from None
+    raise ValueError(
+        f"unknown graph family {family!r}; "
+        "use reg | thick | hypercube | torus | cliques | gk13 | barbell"
+    )
+
+
+def _cmd_info(args) -> int:
+    g = parse_graph_spec(args.graph)
+    lam = edge_connectivity(g)
+    print(f"n={g.n} m={g.m} delta={g.min_degree()} lambda={lam} D={diameter(g)}")
+    return 0
+
+
+def _cmd_broadcast(args) -> int:
+    from repro.core import (
+        broadcast_unknown_lambda,
+        combined_broadcast,
+        fast_broadcast,
+        textbook_broadcast,
+        uniform_random_placement,
+    )
+
+    g = parse_graph_spec(args.graph)
+    placement = uniform_random_placement(g.n, args.k, seed=args.seed)
+    if args.algorithm == "textbook":
+        res = textbook_broadcast(g, placement)
+    elif args.algorithm == "fast":
+        res = fast_broadcast(g, placement, C=args.C, seed=args.seed)
+    elif args.algorithm == "combined":
+        res = combined_broadcast(g, placement, C=args.C, seed=args.seed)
+    else:
+        res, _search = broadcast_unknown_lambda(g, placement, seed=args.seed, C=args.C)
+    print(f"algorithm: {res.algorithm}")
+    print(f"n={res.n} k={res.k} trees={res.parts}")
+    for phase, rounds in res.phases.items():
+        print(f"  {phase:<18} {rounds}")
+    print(f"total rounds: {res.rounds}")
+    print(f"max edge congestion: {res.max_congestion}")
+    return 0
+
+
+def _cmd_packing(args) -> int:
+    from repro.core import build_packing_with_retry, num_parts
+
+    g = parse_graph_spec(args.graph)
+    lam = edge_connectivity(g)
+    parts = args.parts if args.parts else num_parts(lam, g.n, args.C)
+    packing, attempts = build_packing_with_retry(
+        g, parts, seed=args.seed, distributed=True
+    )
+    print(f"lambda={lam} parts={parts} attempts={attempts}")
+    print(f"edge_disjoint={packing.is_edge_disjoint} congestion={packing.congestion}")
+    print(f"max_depth={packing.max_depth} max_diameter={packing.max_diameter}")
+    print(f"construction_rounds={packing.construction_rounds}")
+    return 0
+
+
+def _cmd_apsp(args) -> int:
+    g = parse_graph_spec(args.graph)
+    if args.weighted:
+        from repro.apsp import approx_apsp_weighted, check_weighted_stretch, corollary1_k
+
+        gw = random_weights(g, seed=args.seed)
+        k = args.spanner_k or corollary1_k(g.n)
+        res = approx_apsp_weighted(gw, k=k, C=args.C, seed=args.seed)
+        ok, worst = check_weighted_stretch(gw, res.estimate, k)
+        print(f"weighted APSP: k={k} stretch_bound={2*k-1} measured={worst:.2f} ok={ok}")
+        print(f"spanner edges broadcast: {res.messages_broadcast}")
+    else:
+        from repro.apsp import approx_apsp_unweighted, check_32_approximation
+
+        res = approx_apsp_unweighted(g, C=args.C, seed=args.seed)
+        ok, worst = check_32_approximation(g, res.estimate)
+        print(f"(3,2)-approx APSP: envelope_ok={ok} worst_mult={worst:.2f}")
+        print(f"clusters: {res.k_clusters}")
+    print(f"simulated rounds: {res.simulated_rounds}")
+    print(f"charged rounds:   {res.charged_rounds}")
+    print(f"total rounds:     {res.rounds}")
+    return 0
+
+
+def _cmd_cuts(args) -> int:
+    from repro.cuts import approx_all_cuts, evaluate_cut_quality
+
+    g = parse_graph_spec(args.graph)
+    res = approx_all_cuts(g, eps=args.eps, C=args.C, seed=args.seed, tau=args.tau)
+    quality = evaluate_cut_quality(g, res.sparsifier.sparsifier, seed=args.seed)
+    print(f"sparsifier: {res.sparsifier.m} of {g.m} edges")
+    print(f"rounds: {res.rounds} (simulated {res.simulated_rounds})")
+    print(
+        f"cut error: max={quality['max_rel_error']:.3f} "
+        f"mean={quality['mean_rel_error']:.3f} over {quality['cuts']:.0f} cuts "
+        f"(target eps={args.eps})"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fast Broadcast in Highly Connected Networks — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("graph", help="graph spec, e.g. thick:groups=12,size=10")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--C", type=float, default=2.0, help="Theorem 2 constant")
+
+    p = sub.add_parser("info", help="graph family parameters")
+    p.add_argument("graph")
+    p.set_defaults(fn=_cmd_info)
+
+    p = sub.add_parser("broadcast", help="run a k-broadcast")
+    common(p)
+    p.add_argument("-k", type=int, required=True, help="number of messages")
+    p.add_argument(
+        "--algorithm",
+        choices=["fast", "textbook", "combined", "unknown-lambda"],
+        default="fast",
+    )
+    p.set_defaults(fn=_cmd_broadcast)
+
+    p = sub.add_parser("packing", help="build a Theorem 2 tree packing")
+    common(p)
+    p.add_argument("--parts", type=int, default=0)
+    p.set_defaults(fn=_cmd_packing)
+
+    p = sub.add_parser("apsp", help="approximate APSP (Theorem 4 / 5)")
+    common(p)
+    p.add_argument("--weighted", action="store_true")
+    p.add_argument("--spanner-k", type=int, default=0)
+    p.set_defaults(fn=_cmd_apsp)
+
+    p = sub.add_parser("cuts", help="all-cuts approximation (Theorem 7)")
+    common(p)
+    p.add_argument("--eps", type=float, default=0.4)
+    p.add_argument("--tau", type=int, default=3)
+    p.set_defaults(fn=_cmd_cuts)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except (ReproError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""The CONGEST model substrate: a certified synchronous message-passing simulator.
+
+The paper's algorithms live in the CONGEST model [Pel00]: an n-node network,
+synchronous rounds, one O(log n)-bit message per edge per round. This package
+implements that model directly:
+
+* :class:`~repro.congest.network.Network` — port-numbered topology view,
+* :class:`~repro.congest.program.NodeProgram` / ``Context`` — per-node
+  algorithm API (nodes see only their ports and inbox),
+* :class:`~repro.congest.simulator.Simulator` — the round loop, with
+  per-edge bandwidth *enforcement* (violations raise, so reported round
+  counts are certified executions),
+* :class:`~repro.congest.metrics.Metrics` — rounds, congestion, bits.
+"""
+
+from repro.congest.network import Network
+from repro.congest.program import Context, NodeProgram
+from repro.congest.simulator import Simulator, SimulationResult
+from repro.congest.metrics import Metrics
+from repro.congest.faults import FaultySimulator
+
+__all__ = [
+    "Network",
+    "Context",
+    "NodeProgram",
+    "Simulator",
+    "SimulationResult",
+    "Metrics",
+    "FaultySimulator",
+]

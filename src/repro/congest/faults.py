@@ -1,0 +1,82 @@
+"""Fault injection for the CONGEST simulator.
+
+The paper's tree packing is the input to resilient-computation compilers
+(Section 1.2, Fischer–Parter [FP23]): with λ edge-disjoint trees, an
+adversary controlling fewer than a tree-count's worth of edges cannot stop
+information that is replicated across trees. To *demonstrate* that on real
+executions, :class:`FaultySimulator` drops messages:
+
+* on a static set of **dead edges** (a crashed link / a sabotaged color
+  class), and/or
+* independently at a given **drop rate** (a lossy network), and/or
+* on a per-round adversarial schedule (``mobile`` mapping rounds to edge
+  sets — the FP23 mobile-adversary shape).
+
+Faults act at delivery time, so metrics still count the send (the bandwidth
+was spent); protocols built for the fault-free model may stall — that is
+the point, and :func:`repro.core.resilient.redundant_broadcast` shows how
+tree redundancy buys the deliveries back.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.congest.network import Network
+from repro.congest.simulator import Simulator
+from repro.util.rng import ensure_rng
+
+__all__ = ["FaultySimulator"]
+
+
+class FaultySimulator(Simulator):
+    """A :class:`Simulator` whose deliveries can fail.
+
+    Parameters (beyond the base class):
+
+    dead_edges:
+        Edge ids that never deliver (static link failures).
+    drop_rate:
+        Independent per-message drop probability (0 disables).
+    mobile:
+        Optional ``round -> iterable of edge ids`` mapping: edges controlled
+        by the adversary in that round only.
+    fault_seed:
+        Seed for the drop-rate coin flips (independent of protocol RNG).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        program_factory,
+        dead_edges: Iterable[int] = (),
+        drop_rate: float = 0.0,
+        mobile: Mapping[int, Iterable[int]] | None = None,
+        fault_seed=0,
+        **kwargs,
+    ):
+        super().__init__(network, program_factory, **kwargs)
+        self.dead_edges = frozenset(int(e) for e in dead_edges)
+        if not (0.0 <= drop_rate < 1.0):
+            raise ValueError("drop_rate must be in [0, 1)")
+        self.drop_rate = float(drop_rate)
+        self._mobile = (
+            {int(r): frozenset(int(e) for e in es) for r, es in mobile.items()}
+            if mobile
+            else {}
+        )
+        self._fault_rng = ensure_rng(fault_seed)
+        self.dropped = 0
+
+    def _deliverable(self, rnd: int, eid: int) -> bool:
+        if eid in self.dead_edges:
+            self.dropped += 1
+            return False
+        spot = self._mobile.get(rnd)
+        if spot is not None and eid in spot:
+            self.dropped += 1
+            return False
+        if self.drop_rate > 0.0 and self._fault_rng.random() < self.drop_rate:
+            self.dropped += 1
+            return False
+        return True

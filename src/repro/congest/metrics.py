@@ -1,0 +1,73 @@
+"""Execution metrics: rounds, congestion, message/bit totals.
+
+The paper reasons about two resources:
+
+* **rounds** — the number of synchronous rounds executed (the headline
+  complexity of every theorem), and
+* **congestion** — the maximum number of messages any single edge carries
+  over the whole execution (Lemma 1 promises O(k); Theorem 12 schedules
+  multiple algorithms subject to total congestion).
+
+:class:`Metrics` tracks both exactly, per directed edge, plus total message
+and bit counts for the information-theoretic lower-bound harnesses
+(Theorem 3 counts bits across a minimum cut).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Metrics"]
+
+
+@dataclass
+class Metrics:
+    """Counters accumulated by one :class:`~repro.congest.Simulator` run."""
+
+    m: int
+    rounds: int = 0
+    total_messages: int = 0
+    total_bits: int = 0
+    edge_messages: np.ndarray = field(default=None)  # per undirected edge
+
+    def __post_init__(self):
+        if self.edge_messages is None:
+            self.edge_messages = np.zeros(self.m, dtype=np.int64)
+
+    def record_message(self, eid: int, bits: int) -> None:
+        self.total_messages += 1
+        self.total_bits += bits
+        self.edge_messages[eid] += 1
+
+    @property
+    def max_congestion(self) -> int:
+        """Max messages over any undirected edge across the execution."""
+        return int(self.edge_messages.max()) if self.m else 0
+
+    def bits_across(self, edge_ids: np.ndarray, per_message_bits: int | None = None) -> int:
+        """Upper bound on bits sent across the given edge set.
+
+        With ``per_message_bits`` given, charges that many bits per message
+        (the Theorem 3 accounting); otherwise returns message count only.
+        """
+        count = int(self.edge_messages[np.asarray(edge_ids, dtype=np.int64)].sum())
+        if per_message_bits is None:
+            return count
+        return count * per_message_bits
+
+    def summary(self) -> dict:
+        return {
+            "rounds": self.rounds,
+            "messages": self.total_messages,
+            "bits": self.total_bits,
+            "max_congestion": self.max_congestion,
+        }
+
+    def __repr__(self):
+        s = self.summary()
+        return (
+            f"Metrics(rounds={s['rounds']}, messages={s['messages']}, "
+            f"max_congestion={s['max_congestion']})"
+        )

@@ -1,0 +1,70 @@
+"""Port-numbered communication network wrapping a :class:`Graph`.
+
+In the CONGEST model a node does not a-priori know its neighbors' IDs; it
+owns *ports* ``0..deg(v)-1``, one per incident edge. The :class:`Network`
+fixes a deterministic port numbering (ports sorted by neighbor id, which the
+CSR layout of :class:`Graph` already provides) and exposes the three lookups
+every protocol needs:
+
+* ``neighbor(v, port)``   — who is at the other end of a port,
+* ``port_to(v, u)``       — which local port reaches a known neighbor,
+* ``edge_of_port(v, port)`` — the global edge id (used to intersect with the
+  Theorem 2 color classes, which are sets of *edges*).
+
+Protocols are free to learn neighbor IDs by exchanging them in round one
+(an O(1)-round, O(log n)-bit-per-edge step), matching standard CONGEST
+conventions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.util.errors import ValidationError
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Immutable port-numbered view of a graph."""
+
+    __slots__ = ("graph", "n")
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        self.n = graph.n
+
+    def degree(self, v: int) -> int:
+        return self.graph.degree(v)
+
+    def neighbor(self, v: int, port: int) -> int:
+        """Node at the far end of ``(v, port)``."""
+        nbrs = self.graph.neighbors(v)
+        if not (0 <= port < len(nbrs)):
+            raise ValidationError(f"node {v} has no port {port}")
+        return int(nbrs[port])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """All neighbors of ``v`` in port order (a view)."""
+        return self.graph.neighbors(v)
+
+    def port_to(self, v: int, u: int) -> int:
+        """Local port of ``v`` whose edge reaches ``u``."""
+        nbrs = self.graph.neighbors(v)
+        i = int(np.searchsorted(nbrs, u))
+        if i >= len(nbrs) or nbrs[i] != u:
+            raise ValidationError(f"{u} is not a neighbor of {v}")
+        return i
+
+    def edge_of_port(self, v: int, port: int) -> int:
+        """Global edge id behind ``(v, port)``."""
+        eids = self.graph.incident_edge_ids(v)
+        if not (0 <= port < len(eids)):
+            raise ValidationError(f"node {v} has no port {port}")
+        return int(eids[port])
+
+    def ports_for_edges(self, v: int, edge_ids: set[int]) -> list[int]:
+        """Ports of ``v`` whose edges are in ``edge_ids`` (for color classes)."""
+        eids = self.graph.incident_edge_ids(v)
+        return [p for p, e in enumerate(eids.tolist()) if e in edge_ids]

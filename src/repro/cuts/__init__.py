@@ -1,0 +1,25 @@
+"""Cut-approximation application (Section 4.3, Theorems 6–7).
+
+* :mod:`~repro.cuts.sparsifier` — Koutis–Xu spanner-bundle sparsifier and a
+  Spielman–Srivastava effective-resistance cross-check.
+* :mod:`~repro.cuts.approx` — Theorem 7: broadcast the sparsifier, estimate
+  every cut locally.
+"""
+
+from repro.cuts.sparsifier import (
+    SparsifierResult,
+    koutis_xu_sparsifier,
+    effective_resistance_sparsifier,
+    bundle_size,
+)
+from repro.cuts.approx import CutApproxResult, approx_all_cuts, evaluate_cut_quality
+
+__all__ = [
+    "SparsifierResult",
+    "koutis_xu_sparsifier",
+    "effective_resistance_sparsifier",
+    "bundle_size",
+    "CutApproxResult",
+    "approx_all_cuts",
+    "evaluate_cut_quality",
+]

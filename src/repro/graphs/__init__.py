@@ -1,0 +1,90 @@
+"""Graph substrate: container, generators, connectivity, and properties.
+
+This package is the foundation every other subsystem builds on:
+
+* :class:`~repro.graphs.graph.Graph` — immutable CSR simple graph with
+  first-class edge ids (the Theorem 2 coloring colors *edges*).
+* :mod:`~repro.graphs.generators` — the workload families of the experiment
+  suite, each with (n, δ, λ, D) controlled by construction.
+* :mod:`~repro.graphs.connectivity` — exact λ via unit-capacity max-flow,
+  concrete minimum cuts (lower-bound witnesses), Stoer–Wagner.
+* :mod:`~repro.graphs.traversal` — centralized BFS kernels (ground truth for
+  the distributed protocols).
+* :mod:`~repro.graphs.properties` — diameter, Observation 1, conductance.
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import (
+    bfs_distances,
+    bfs_tree,
+    all_pairs_distances,
+    eccentricity,
+    connected_components,
+    is_connected,
+)
+from repro.graphs.connectivity import (
+    edge_connectivity,
+    local_edge_connectivity,
+    min_cut,
+    stoer_wagner,
+)
+from repro.graphs.properties import (
+    diameter,
+    approx_diameter,
+    observation1_bound,
+    check_observation1,
+    conductance_upper_bound,
+    cut_value,
+    volume,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+    hypercube,
+    torus_grid,
+    random_regular,
+    gnp_random,
+    connected_gnp,
+    thick_cycle,
+    barbell,
+    path_of_cliques,
+    ghaffari_kuhn_family,
+    random_weights,
+)
+
+__all__ = [
+    "Graph",
+    "bfs_distances",
+    "bfs_tree",
+    "all_pairs_distances",
+    "eccentricity",
+    "connected_components",
+    "is_connected",
+    "edge_connectivity",
+    "local_edge_connectivity",
+    "min_cut",
+    "stoer_wagner",
+    "diameter",
+    "approx_diameter",
+    "observation1_bound",
+    "check_observation1",
+    "conductance_upper_bound",
+    "cut_value",
+    "volume",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "hypercube",
+    "torus_grid",
+    "random_regular",
+    "gnp_random",
+    "connected_gnp",
+    "thick_cycle",
+    "barbell",
+    "path_of_cliques",
+    "ghaffari_kuhn_family",
+    "random_weights",
+]

@@ -1,0 +1,292 @@
+"""Immutable simple-graph container used by every subsystem.
+
+``Graph`` stores an undirected simple graph on nodes ``0..n-1`` in CSR form
+(numpy arrays), which makes BFS layers, degree queries, and edge-mask
+subgraph extraction vectorizable — the hot paths identified by profiling the
+CONGEST simulator (see DESIGN.md §6 and the hpc-parallel guide's
+"measure, then optimize the bottleneck" workflow).
+
+Design points:
+
+* **Edges are first-class**: each undirected edge has an integer id
+  ``0..m-1``; adjacency entries carry the edge id so protocols can map a
+  neighbor slot back to the edge (needed for the Theorem 2 edge coloring,
+  where the *edge*, not the endpoint, owns the random color).
+* **Immutability**: algorithms never mutate a graph; they derive subgraphs
+  via :meth:`Graph.edge_subgraph` (same node set, subset of edges), which is
+  exactly the object Theorem 2's color classes are.
+* **Weights** are optional (`None` for unweighted); weighted graphs are used
+  by the spanner/sparsifier applications.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An undirected simple graph on nodes ``0..n-1`` with optional weights.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    edges:
+        Iterable of ``(u, v)`` pairs, ``0 <= u, v < n``, ``u != v``. Parallel
+        edges and self-loops are rejected (the paper's results are for simple
+        graphs — footnote 1 of Lemma 5 breaks for multigraphs).
+    weights:
+        Optional per-edge positive weights, aligned with ``edges``.
+    """
+
+    __slots__ = (
+        "n",
+        "m",
+        "edge_u",
+        "edge_v",
+        "weights",
+        "_indptr",
+        "_indices",
+        "_adj_edge_id",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[tuple[int, int]],
+        weights: Sequence[float] | np.ndarray | None = None,
+    ):
+        if n < 1:
+            raise ValidationError(f"graph needs at least one node, got n={n}")
+        edge_arr = np.asarray(list(edges), dtype=np.int64)
+        if edge_arr.size == 0:
+            edge_arr = edge_arr.reshape(0, 2)
+        if edge_arr.ndim != 2 or edge_arr.shape[1] != 2:
+            raise ValidationError("edges must be (u, v) pairs")
+        u = np.minimum(edge_arr[:, 0], edge_arr[:, 1])
+        v = np.maximum(edge_arr[:, 0], edge_arr[:, 1])
+        if edge_arr.size and (u.min() < 0 or v.max() >= n):
+            raise ValidationError("edge endpoint out of range")
+        if np.any(u == v):
+            raise ValidationError("self-loops are not allowed in a simple graph")
+        key = u * n + v
+        if len(np.unique(key)) != len(key):
+            raise ValidationError("parallel edges are not allowed in a simple graph")
+
+        self.n = int(n)
+        self.m = int(len(u))
+        self.edge_u = u
+        self.edge_v = v
+
+        if weights is not None:
+            w = np.asarray(weights, dtype=np.float64)
+            if w.shape != (self.m,):
+                raise ValidationError(
+                    f"weights shape {w.shape} does not match m={self.m}"
+                )
+            if np.any(w <= 0):
+                raise ValidationError("edge weights must be positive")
+            self.weights = w
+        else:
+            self.weights = None
+
+        # Build CSR adjacency, fully vectorized: one lexsort of the 2m
+        # directed arcs yields per-node blocks already sorted by neighbor id
+        # (deterministic port numbering for the CONGEST layer).
+        rows = np.concatenate([u, v])
+        cols = np.concatenate([v, u])
+        eids = np.concatenate([np.arange(self.m), np.arange(self.m)])
+        order = np.lexsort((cols, rows))
+        self._indices = cols[order]
+        self._adj_edge_id = eids[order]
+        deg = np.bincount(rows, minlength=self.n)
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(deg, out=indptr[1:])
+        self._indptr = indptr
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_weighted(self) -> bool:
+        return self.weights is not None
+
+    def degree(self, v: int) -> int:
+        """Number of edges incident to ``v``."""
+        return int(self._indptr[v + 1] - self._indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        """Degree of every node, as an ``(n,)`` array."""
+        return np.diff(self._indptr)
+
+    def min_degree(self) -> int:
+        """The paper's δ. Zero-degree nodes are legal in subgraphs."""
+        return int(self.degrees().min()) if self.n else 0
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor array of ``v`` (a view — do not mutate)."""
+        return self._indices[self._indptr[v] : self._indptr[v + 1]]
+
+    def incident_edge_ids(self, v: int) -> np.ndarray:
+        """Edge ids aligned with :meth:`neighbors` (a view)."""
+        return self._adj_edge_id[self._indptr[v] : self._indptr[v + 1]]
+
+    def edge_endpoints(self, eid: int) -> tuple[int, int]:
+        """The ``(u, v)`` endpoints of edge ``eid`` with ``u < v``."""
+        return int(self.edge_u[eid]), int(self.edge_v[eid])
+
+    def edge_weight(self, eid: int) -> float:
+        return 1.0 if self.weights is None else float(self.weights[eid])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        if u == v:
+            return False
+        nbrs = self.neighbors(u)
+        i = int(np.searchsorted(nbrs, v))
+        return i < len(nbrs) and nbrs[i] == v
+
+    def edge_id(self, u: int, v: int) -> int:
+        """Edge id of ``{u, v}``; raises ``KeyError`` if absent."""
+        nbrs = self.neighbors(u)
+        i = int(np.searchsorted(nbrs, v))
+        if i >= len(nbrs) or nbrs[i] != v:
+            raise KeyError(f"no edge {{{u}, {v}}}")
+        return int(self.incident_edge_ids(u)[i])
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate undirected edges as ``(u, v)`` with ``u < v``."""
+        for eid in range(self.m):
+            yield int(self.edge_u[eid]), int(self.edge_v[eid])
+
+    def total_weight(self) -> float:
+        if self.weights is None:
+            return float(self.m)
+        return float(self.weights.sum())
+
+    # ------------------------------------------------------------------ #
+    # derived graphs
+    # ------------------------------------------------------------------ #
+
+    def edge_subgraph(self, edge_mask: np.ndarray) -> "Graph":
+        """Spanning-node subgraph keeping only edges where ``edge_mask`` is True.
+
+        This is the object Theorem 2 manipulates: same node set ``V``, edge
+        set ``E_i ⊆ E``. Edge ids are *renumbered* in the subgraph; use
+        :meth:`edge_subgraph_with_map` when the original ids are needed.
+        """
+        sub, _ = self.edge_subgraph_with_map(edge_mask)
+        return sub
+
+    def edge_subgraph_with_map(
+        self, edge_mask: np.ndarray
+    ) -> tuple["Graph", np.ndarray]:
+        """Like :meth:`edge_subgraph`, also returning original edge ids.
+
+        Returns ``(subgraph, orig_ids)`` where ``orig_ids[i]`` is the id in
+        ``self`` of the subgraph's edge ``i``.
+        """
+        mask = np.asarray(edge_mask, dtype=bool)
+        if mask.shape != (self.m,):
+            raise ValidationError(
+                f"edge mask shape {mask.shape} does not match m={self.m}"
+            )
+        ids = np.nonzero(mask)[0]
+        pairs = np.stack([self.edge_u[ids], self.edge_v[ids]], axis=1)
+        w = None if self.weights is None else self.weights[ids]
+        sub = Graph(self.n, pairs, weights=w)
+        return sub, ids
+
+    def reweighted(self, weights: Sequence[float] | np.ndarray) -> "Graph":
+        """Copy of this graph with new per-edge weights."""
+        pairs = np.stack([self.edge_u, self.edge_v], axis=1)
+        return Graph(self.n, pairs, weights=np.asarray(weights, dtype=np.float64))
+
+    def unweighted(self) -> "Graph":
+        """Copy of this graph with weights dropped."""
+        pairs = np.stack([self.edge_u, self.edge_v], axis=1)
+        return Graph(self.n, pairs)
+
+    # ------------------------------------------------------------------ #
+    # interop
+    # ------------------------------------------------------------------ #
+
+    def to_networkx(self):
+        """Convert to :class:`networkx.Graph` (weights as ``weight`` attr)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        if self.weights is None:
+            g.add_edges_from(zip(self.edge_u.tolist(), self.edge_v.tolist()))
+        else:
+            g.add_weighted_edges_from(
+                zip(self.edge_u.tolist(), self.edge_v.tolist(), self.weights.tolist())
+            )
+        return g
+
+    @classmethod
+    def from_networkx(cls, g) -> "Graph":
+        """Build from a :class:`networkx.Graph` with integer nodes 0..n-1.
+
+        Nodes are relabelled to ``0..n-1`` in sorted order if necessary;
+        ``weight`` attributes (when present on every edge) become weights.
+        """
+        nodes = sorted(g.nodes())
+        relabel = {u: i for i, u in enumerate(nodes)}
+        edges = []
+        weights = []
+        weighted = all("weight" in d for _, _, d in g.edges(data=True)) and g.number_of_edges() > 0
+        for u, v, data in g.edges(data=True):
+            edges.append((relabel[u], relabel[v]))
+            if weighted:
+                weights.append(float(data["weight"]))
+        return cls(len(nodes), edges, weights=weights if weighted else None)
+
+    def to_scipy_csr(self):
+        """Symmetric scipy CSR adjacency (weights, or 1s if unweighted)."""
+        from scipy.sparse import csr_matrix
+
+        w = self.weights if self.weights is not None else np.ones(self.m)
+        row = np.concatenate([self.edge_u, self.edge_v])
+        col = np.concatenate([self.edge_v, self.edge_u])
+        dat = np.concatenate([w, w])
+        return csr_matrix((dat, (row, col)), shape=(self.n, self.n))
+
+    # ------------------------------------------------------------------ #
+    # dunder
+    # ------------------------------------------------------------------ #
+
+    def __repr__(self) -> str:
+        kind = "weighted" if self.is_weighted else "unweighted"
+        return f"Graph(n={self.n}, m={self.m}, {kind})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if self.n != other.n or self.m != other.m:
+            return False
+        if not (
+            np.array_equal(self.edge_u, other.edge_u)
+            and np.array_equal(self.edge_v, other.edge_v)
+        ):
+            # Edge order may differ; compare canonical sorted edge sets.
+            a = np.lexsort((self.edge_v, self.edge_u))
+            b = np.lexsort((other.edge_v, other.edge_u))
+            if not (
+                np.array_equal(self.edge_u[a], other.edge_u[b])
+                and np.array_equal(self.edge_v[a], other.edge_v[b])
+            ):
+                return False
+        if (self.weights is None) != (other.weights is None):
+            return False
+        return True
+
+    def __hash__(self):
+        return hash((self.n, self.m))

@@ -1,0 +1,117 @@
+"""Structural graph properties used throughout the paper.
+
+Implements the quantities of Section 2 of the paper:
+
+* exact diameter ``D`` (all-sources BFS, with a sampled variant for sweeps),
+* minimum degree ``δ`` (trivial, on :class:`Graph`),
+* Observation 1's bound ``D = O(n/δ)`` as a checkable inequality,
+* conductance ``φ`` and the ``φ = O(λ/δ)`` bound from the comparison with
+  CLP21 (Section 1.2), via an exhaustive / sampled sweep over cuts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_distances, is_connected
+from repro.util.errors import ValidationError
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "diameter",
+    "approx_diameter",
+    "observation1_bound",
+    "check_observation1",
+    "conductance_upper_bound",
+    "cut_value",
+    "volume",
+]
+
+
+def diameter(graph: Graph) -> int:
+    """Exact hop diameter; raises for disconnected graphs."""
+    if graph.n == 1:
+        return 0
+    best = 0
+    for v in range(graph.n):
+        dist = bfs_distances(graph, v)
+        if np.any(dist == -1):
+            raise ValidationError("diameter undefined: graph is disconnected")
+        best = max(best, int(dist.max()))
+    return best
+
+
+def approx_diameter(graph: Graph, samples: int = 8, seed=None) -> int:
+    """Lower bound on the diameter via double-sweep BFS from random seeds.
+
+    For every sampled source we BFS, hop to the farthest node found, and BFS
+    again (the classic double sweep). Exact on trees; a certified lower
+    bound — never an overestimate — in general, which is the safe direction
+    for checking Observation 1's upper bound on large sweep instances.
+    """
+    if graph.n == 1:
+        return 0
+    if not is_connected(graph):
+        raise ValidationError("diameter undefined: graph is disconnected")
+    rng = ensure_rng(seed)
+    best = 0
+    for _ in range(samples):
+        v = int(rng.integers(graph.n))
+        dist = bfs_distances(graph, v)
+        far = int(np.argmax(dist))
+        dist2 = bfs_distances(graph, far)
+        best = max(best, int(dist2.max()))
+    return best
+
+
+def observation1_bound(n: int, min_degree: int) -> float:
+    """Observation 1's explicit constant: the proof gives ``D <= 3n/δ``."""
+    if min_degree < 1:
+        raise ValidationError("Observation 1 needs δ >= 1")
+    return 3.0 * n / min_degree
+
+
+def check_observation1(graph: Graph) -> tuple[int, float]:
+    """Return ``(D, 3n/δ)`` and raise if the observation is violated."""
+    d = diameter(graph)
+    bound = observation1_bound(graph.n, graph.min_degree())
+    if d > bound:
+        raise ValidationError(
+            "Observation 1 violated (impossible for a simple connected graph)",
+            diameter=d,
+            bound=bound,
+        )
+    return d, bound
+
+
+def volume(graph: Graph, side: np.ndarray) -> float:
+    """Sum of degrees over the node set ``side`` (boolean mask)."""
+    return float(graph.degrees()[np.asarray(side, dtype=bool)].sum())
+
+
+def cut_value(graph: Graph, side: np.ndarray) -> float:
+    """Total weight of edges crossing the cut ``(side, complement)``."""
+    mask = np.asarray(side, dtype=bool)
+    if mask.shape != (graph.n,):
+        raise ValidationError("side mask must have shape (n,)")
+    crossing = mask[graph.edge_u] != mask[graph.edge_v]
+    if graph.weights is None:
+        return float(np.count_nonzero(crossing))
+    return float(graph.weights[crossing].sum())
+
+
+def conductance_upper_bound(graph: Graph, side: np.ndarray) -> float:
+    """Conductance of one cut: ``cut(S) / min(vol(S), vol(V\\S))``.
+
+    The paper's comparison with CLP21 uses that a minimum cut witnesses
+    ``φ = O(λ/δ)``; feeding :func:`repro.graphs.connectivity.min_cut`'s side
+    here makes that inequality checkable.
+    """
+    mask = np.asarray(side, dtype=bool)
+    vol_s = volume(graph, mask)
+    vol_t = volume(graph, ~mask)
+    denom = min(vol_s, vol_t)
+    if denom == 0:
+        raise ValidationError("cut side has zero volume")
+    return cut_value(graph, mask) / denom

@@ -1,0 +1,115 @@
+"""Centralized BFS/traversal kernels shared by validators and applications.
+
+These are *centralized* (single-process) routines used to (a) validate the
+outputs of distributed protocols against ground truth and (b) implement the
+"local computation" steps the paper's applications perform after a broadcast
+(e.g. every node computing APSP on a received spanner). The distributed BFS
+of Lemma 2 lives in :mod:`repro.primitives.bfs`.
+
+BFS is the hottest kernel in the library (diameter checks run it from every
+node), so :func:`bfs_distances` is a frontier-vectorized implementation over
+the CSR arrays rather than a per-node Python loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "bfs_distances",
+    "bfs_tree",
+    "all_pairs_distances",
+    "eccentricity",
+    "connected_components",
+    "is_connected",
+]
+
+UNREACHED = -1
+
+
+def bfs_distances(graph: Graph, source: int) -> np.ndarray:
+    """Hop distances from ``source``; ``-1`` marks unreachable nodes."""
+    dist = np.full(graph.n, UNREACHED, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    indptr, indices = graph._indptr, graph._indices
+    d = 0
+    while frontier.size:
+        # Gather all frontier adjacency blocks in one vectorized sweep:
+        # positions = repeat(starts, counts) + (0,1,2,... within each block).
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        base = np.repeat(starts, counts)
+        block_off = np.arange(total) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        out = indices[base + block_off]
+        fresh = out[dist[out] == UNREACHED]
+        if fresh.size == 0:
+            break
+        d += 1
+        dist[fresh] = d  # duplicate assignments write the same value
+        frontier = np.nonzero(dist == d)[0]
+    return dist
+
+
+def bfs_tree(graph: Graph, source: int) -> tuple[np.ndarray, np.ndarray]:
+    """BFS parent pointers and distances from ``source``.
+
+    Returns ``(parent, dist)``; ``parent[source] == source`` and
+    ``parent[v] == -1`` for unreachable ``v``. Parents are chosen as the
+    smallest-id neighbor in the previous layer, making the tree deterministic
+    (matching the port-ordered distributed BFS of Lemma 2).
+    """
+    dist = bfs_distances(graph, source)
+    parent = np.full(graph.n, UNREACHED, dtype=np.int64)
+    parent[source] = source
+    order = np.argsort(dist, kind="stable")
+    for v in order:
+        v = int(v)
+        if dist[v] <= 0:
+            continue
+        nbrs = graph.neighbors(v)
+        prev = nbrs[dist[nbrs] == dist[v] - 1]
+        if prev.size:
+            parent[v] = int(prev[0])
+    return parent, dist
+
+
+def all_pairs_distances(graph: Graph) -> np.ndarray:
+    """Exact unweighted APSP as an ``(n, n)`` matrix (``-1`` = unreachable)."""
+    out = np.empty((graph.n, graph.n), dtype=np.int64)
+    for v in range(graph.n):
+        out[v] = bfs_distances(graph, v)
+    return out
+
+
+def eccentricity(graph: Graph, source: int) -> int:
+    """Max hop distance from ``source``; ``-1`` if the graph is disconnected."""
+    dist = bfs_distances(graph, source)
+    if np.any(dist == UNREACHED):
+        return -1
+    return int(dist.max())
+
+
+def connected_components(graph: Graph) -> np.ndarray:
+    """Component label per node (labels are the component's smallest node)."""
+    label = np.full(graph.n, UNREACHED, dtype=np.int64)
+    for v in range(graph.n):
+        if label[v] != UNREACHED:
+            continue
+        dist = bfs_distances(graph, v)
+        label[dist != UNREACHED] = v
+    return label
+
+
+def is_connected(graph: Graph) -> bool:
+    """True iff the graph is connected (n=1 graphs are connected)."""
+    if graph.n <= 1:
+        return True
+    return not np.any(bfs_distances(graph, 0) == UNREACHED)

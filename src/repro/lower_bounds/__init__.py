@@ -1,0 +1,46 @@
+"""The paper's lower bounds as executable artifacts (Sections 3.2, 4.4, App. B).
+
+* :mod:`~repro.lower_bounds.broadcast_lb` — Theorem 3's Ω(k/λ) with
+  per-execution certificates (bits counted across a real minimum cut).
+* :mod:`~repro.lower_bounds.id_lb` — Theorem 8's Ω(n/λ) for learning IDs.
+* :mod:`~repro.lower_bounds.weighted_apsp_lb` — Theorem 9's hard weighted
+  instance, with the decoding argument implemented (α-approximate distances
+  provably reveal the hidden exponents).
+* :mod:`~repro.lower_bounds.gk13` — Theorems 11/13 packing-diameter
+  measurements on the Ghaffari–Kuhn family.
+"""
+
+from repro.lower_bounds.broadcast_lb import (
+    theorem3_rounds_bound,
+    cut_bits_required,
+    verify_broadcast_meets_bound,
+    Theorem3Certificate,
+)
+from repro.lower_bounds.id_lb import id_entropy_bits, theorem8_rounds_bound
+from repro.lower_bounds.weighted_apsp_lb import (
+    Theorem9Instance,
+    theorem9_instance,
+    decode_exponents,
+    kmax_for,
+)
+from repro.lower_bounds.gk13 import (
+    PackingDiameterReport,
+    measure_packing_diameters,
+    theorem13_prediction,
+)
+
+__all__ = [
+    "theorem3_rounds_bound",
+    "cut_bits_required",
+    "verify_broadcast_meets_bound",
+    "Theorem3Certificate",
+    "id_entropy_bits",
+    "theorem8_rounds_bound",
+    "Theorem9Instance",
+    "theorem9_instance",
+    "decode_exponents",
+    "kmax_for",
+    "PackingDiameterReport",
+    "measure_packing_diameters",
+    "theorem13_prediction",
+]

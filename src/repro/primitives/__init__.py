@@ -1,0 +1,54 @@
+"""Distributed CONGEST primitives: the paper's Section 2 toolbox.
+
+* :mod:`~repro.primitives.bfs` — Lemma 2 BFS, single tree or many
+  edge-disjoint trees concurrently.
+* :mod:`~repro.primitives.leader` — leader election by min-ID flooding.
+* :mod:`~repro.primitives.aggregation` — tree convergecast/downcast
+  (Lemma 4's "learn δ").
+* :mod:`~repro.primitives.numbering` — Lemma 3 unique item numbering.
+* :mod:`~repro.primitives.pipeline` — Lemma 1 pipelined tree broadcast,
+  multi-channel (the engine under Theorem 1).
+* :mod:`~repro.primitives.scheduling` — Theorem 12 random-delay scheduling
+  of overlapping broadcasts.
+"""
+
+from repro.primitives.bfs import BFSProgram, BFSResult, run_bfs, run_parallel_bfs
+from repro.primitives.leader import MinIDFloodProgram, elect_leader
+from repro.primitives.aggregation import (
+    ConvergecastProgram,
+    tree_aggregate,
+    learn_min_degree,
+)
+from repro.primitives.numbering import NumberingProgram, assign_item_numbers
+from repro.primitives.pipeline import (
+    ChannelSpec,
+    PipelinedBroadcastProgram,
+    TreeBroadcastOutcome,
+    run_tree_broadcast,
+)
+from repro.primitives.scheduling import (
+    ScheduledBroadcastProgram,
+    ScheduleOutcome,
+    run_scheduled_broadcast,
+)
+
+__all__ = [
+    "BFSProgram",
+    "BFSResult",
+    "run_bfs",
+    "run_parallel_bfs",
+    "MinIDFloodProgram",
+    "elect_leader",
+    "ConvergecastProgram",
+    "tree_aggregate",
+    "learn_min_degree",
+    "NumberingProgram",
+    "assign_item_numbers",
+    "ChannelSpec",
+    "PipelinedBroadcastProgram",
+    "TreeBroadcastOutcome",
+    "run_tree_broadcast",
+    "ScheduledBroadcastProgram",
+    "ScheduleOutcome",
+    "run_scheduled_broadcast",
+]

@@ -1,0 +1,32 @@
+"""Shared utilities: seeded RNG streams, bit accounting, table formatting.
+
+These helpers are deliberately tiny and dependency-light; every randomized
+component in :mod:`repro` threads its randomness through :func:`rng_from_seed`
+/ :func:`spawn_rngs` so that experiments are exactly reproducible.
+"""
+
+from repro.util.bits import bits_for_int, bits_for_payload, message_bit_budget
+from repro.util.errors import (
+    ReproError,
+    ValidationError,
+    BandwidthExceeded,
+    ProtocolError,
+)
+from repro.util.rng import ensure_rng, rng_from_seed, spawn_rngs, derive_seed
+from repro.util.tables import Table, format_float
+
+__all__ = [
+    "bits_for_int",
+    "bits_for_payload",
+    "message_bit_budget",
+    "ReproError",
+    "ValidationError",
+    "BandwidthExceeded",
+    "ProtocolError",
+    "ensure_rng",
+    "rng_from_seed",
+    "spawn_rngs",
+    "derive_seed",
+    "Table",
+    "format_float",
+]

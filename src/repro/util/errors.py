@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro package.
+
+Errors are deliberately loud: the CONGEST simulator raises
+:class:`BandwidthExceeded` instead of silently truncating a message, and
+validators raise :class:`ValidationError` with a human-readable account of
+which invariant failed. This mirrors the paper's "with high probability"
+guarantees — when a w.h.p. event fails (it can, for tiny constants), the
+caller finds out immediately.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError):
+    """An invariant promised by a theorem/lemma failed to hold.
+
+    Carries optional structured ``details`` so tests and benchmark harnesses
+    can introspect what went wrong without parsing the message string.
+    """
+
+    def __init__(self, message: str, **details):
+        super().__init__(message)
+        self.details = details
+
+
+class BandwidthExceeded(ReproError):
+    """A node attempted to violate the CONGEST bandwidth constraint.
+
+    Raised when a payload exceeds the per-edge-per-round bit budget, or when
+    a node tries to enqueue a second message on the same directed edge in a
+    single round.
+    """
+
+
+class ProtocolError(ReproError):
+    """A distributed protocol reached a state its specification forbids.
+
+    Examples: a BFS node receiving a layer announcement from a non-neighbor,
+    or a pipelined broadcast receiving an out-of-order packet.
+    """

@@ -1,0 +1,65 @@
+"""Minimal plain-text table rendering for benchmark harness output.
+
+Every benchmark in :mod:`benchmarks` prints the rows it measured in a fixed
+column layout so that EXPERIMENTS.md can quote the output verbatim. No
+third-party tabulation dependency is used (offline environment).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["Table", "format_float"]
+
+
+def format_float(x: float, digits: int = 3) -> str:
+    """Compact float formatting: integers render bare, others fixed-point."""
+    if x is None:
+        return "-"
+    if isinstance(x, bool):
+        return str(x)
+    if isinstance(x, int):
+        return str(x)
+    if x == int(x) and abs(x) < 1e15:
+        return str(int(x))
+    return f"{x:.{digits}f}"
+
+
+class Table:
+    """Accumulate rows, then render with aligned columns.
+
+    >>> t = Table(["n", "rounds"], title="demo")
+    >>> t.add_row([100, 42])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: str | None = None):
+        self.columns = list(columns)
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[Any]) -> None:
+        row = [format_float(v) if isinstance(v, float) else str(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(f"== {self.title} ==")
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print("\n" + self.render() + "\n", flush=True)

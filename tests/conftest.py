@@ -1,0 +1,79 @@
+"""Shared fixtures: small, fast, deterministic graphs for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    barbell,
+    complete_graph,
+    cycle_graph,
+    hypercube,
+    path_graph,
+    random_regular,
+    random_weights,
+    thick_cycle,
+    torus_grid,
+)
+
+
+@pytest.fixture(scope="session")
+def k4() -> Graph:
+    return complete_graph(4)
+
+
+@pytest.fixture(scope="session")
+def c8() -> Graph:
+    return cycle_graph(8)
+
+
+@pytest.fixture(scope="session")
+def p10() -> Graph:
+    return path_graph(10)
+
+
+@pytest.fixture(scope="session")
+def q4() -> Graph:
+    """4-dimensional hypercube: n=16, λ=δ=4, D=4."""
+    return hypercube(4)
+
+
+@pytest.fixture(scope="session")
+def reg_small() -> Graph:
+    """Random 6-regular graph on 40 nodes (λ = 6 w.h.p., verified in tests)."""
+    return random_regular(40, 6, seed=11)
+
+
+@pytest.fixture(scope="session")
+def reg_medium() -> Graph:
+    """Random 12-regular graph on 90 nodes: the main mid-size workload."""
+    return random_regular(90, 12, seed=13)
+
+
+@pytest.fixture(scope="session")
+def reg_dense() -> Graph:
+    """Random 24-regular graph on 80 nodes: supports multi-part partitions."""
+    return random_regular(80, 24, seed=17)
+
+
+@pytest.fixture(scope="session")
+def weighted_medium(reg_medium) -> Graph:
+    return random_weights(reg_medium, seed=19)
+
+
+@pytest.fixture(scope="session")
+def barbell_graph() -> Graph:
+    """λ = 1 control case."""
+    return barbell(8, bridge_len=3)
+
+
+@pytest.fixture(scope="session")
+def thick() -> Graph:
+    """Thick cycle: λ = 8, D ≈ 6 — high connectivity, moderate diameter."""
+    return thick_cycle(12, 4)
+
+
+@pytest.fixture(scope="session")
+def torus() -> Graph:
+    return torus_grid(5, 6)

@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_graph_spec
+from repro.graphs import edge_connectivity
+
+
+class TestGraphSpecParser:
+    def test_reg(self):
+        g = parse_graph_spec("reg:n=40,d=4,seed=1")
+        assert g.n == 40 and (g.degrees() == 4).all()
+
+    def test_thick(self):
+        g = parse_graph_spec("thick:groups=6,size=3")
+        assert g.n == 18 and edge_connectivity(g) == 6
+
+    def test_hypercube(self):
+        assert parse_graph_spec("hypercube:dim=4").n == 16
+
+    def test_torus(self):
+        assert parse_graph_spec("torus:rows=3,cols=4").n == 12
+
+    def test_cliques(self):
+        g = parse_graph_spec("cliques:num=3,size=5,bridge=2")
+        assert edge_connectivity(g) == 2
+
+    def test_gk13(self):
+        assert parse_graph_spec("gk13:length=8,lam=3").n == 24
+
+    def test_barbell(self):
+        g = parse_graph_spec("barbell:clique=5,bridge=2")
+        assert edge_connectivity(g) == 1
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            parse_graph_spec("pentagram:n=5")
+
+    def test_missing_param(self):
+        with pytest.raises(ValueError):
+            parse_graph_spec("reg:n=40")
+
+    def test_malformed_fragment(self):
+        with pytest.raises(ValueError):
+            parse_graph_spec("reg:n40")
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "hypercube:dim=4"]) == 0
+        out = capsys.readouterr().out
+        assert "n=16" in out and "lambda=4" in out
+
+    def test_broadcast_fast(self, capsys):
+        rc = main(
+            ["broadcast", "thick:groups=8,size=6", "-k", "48", "--C", "1.5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "total rounds:" in out and "pipeline" in out
+
+    def test_broadcast_textbook(self, capsys):
+        rc = main(
+            ["broadcast", "hypercube:dim=5", "-k", "20", "--algorithm", "textbook"]
+        )
+        assert rc == 0
+        assert "textbook" in capsys.readouterr().out
+
+    def test_broadcast_unknown_lambda(self, capsys):
+        rc = main(
+            ["broadcast", "thick:groups=8,size=6", "-k", "24",
+             "--algorithm", "unknown-lambda", "--C", "1.5"]
+        )
+        assert rc == 0
+        assert "lambda_search" in capsys.readouterr().out
+
+    def test_packing(self, capsys):
+        rc = main(["packing", "thick:groups=8,size=8", "--C", "1.5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "edge_disjoint=True" in out
+
+    def test_apsp_unweighted(self, capsys):
+        rc = main(["apsp", "thick:groups=8,size=8", "--C", "1.5"])
+        assert rc == 0
+        assert "envelope_ok=True" in capsys.readouterr().out
+
+    def test_apsp_weighted(self, capsys):
+        rc = main(
+            ["apsp", "thick:groups=8,size=8", "--weighted", "--spanner-k", "2",
+             "--C", "1.5"]
+        )
+        assert rc == 0
+        assert "ok=True" in capsys.readouterr().out
+
+    def test_cuts(self, capsys):
+        rc = main(["cuts", "thick:groups=8,size=10", "--eps", "0.5", "--C", "1.5"])
+        assert rc == 0
+        assert "cut error" in capsys.readouterr().out
+
+    def test_error_path_returns_one(self, capsys):
+        assert main(["info", "pentagram:n=5"]) == 1
+        assert "error:" in capsys.readouterr().err

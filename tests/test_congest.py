@@ -1,0 +1,228 @@
+"""Tests for the CONGEST substrate: network ports, simulator semantics,
+bandwidth enforcement, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.congest import Context, Metrics, Network, NodeProgram, Simulator
+from repro.graphs import Graph, complete_graph, cycle_graph, path_graph
+from repro.util.errors import BandwidthExceeded, ProtocolError, ReproError
+
+
+class TestNetwork:
+    def test_port_numbering_sorted(self):
+        g = Graph(4, [(0, 3), (0, 1), (0, 2)])
+        net = Network(g)
+        assert [net.neighbor(0, p) for p in range(3)] == [1, 2, 3]
+
+    def test_port_roundtrip(self):
+        net = Network(complete_graph(5))
+        for v in range(5):
+            for p in range(4):
+                u = net.neighbor(v, p)
+                assert net.port_to(v, u) == p
+
+    def test_edge_of_port(self):
+        g = cycle_graph(4)
+        net = Network(g)
+        for v in range(4):
+            for p in range(2):
+                eid = net.edge_of_port(v, p)
+                a, b = g.edge_endpoints(eid)
+                assert v in (a, b)
+
+    def test_bad_port_raises(self):
+        net = Network(cycle_graph(4))
+        from repro.util.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            net.neighbor(0, 5)
+        with pytest.raises(ValidationError):
+            net.port_to(0, 2)  # not a neighbor on C4
+
+    def test_ports_for_edges(self):
+        g = cycle_graph(4)
+        net = Network(g)
+        eid = g.edge_id(0, 1)
+        assert net.ports_for_edges(0, {eid}) == [net.port_to(0, 1)]
+
+
+class _Echo(NodeProgram):
+    """Node 0 sends a ping; neighbors reply once."""
+
+    def __init__(self, node):
+        super().__init__()
+        self.node = node
+        self.got = []
+
+    def on_start(self, ctx):
+        if self.node == 0:
+            ctx.send_all((0,))  # 0 = ping
+
+    def on_round(self, ctx):
+        for port, payload in ctx.inbox:
+            self.got.append(payload[0])
+            if payload[0] == 0:  # ping -> pong
+                ctx.send(port, (1,))
+
+
+class TestSimulator:
+    def test_round_semantics(self):
+        g = cycle_graph(4)
+        sim = Simulator(Network(g), _Echo)
+        result = sim.run()
+        # ping delivered in round 1, pong in round 2 → 2 rounds total.
+        assert result.metrics.rounds == 2
+        assert result.programs[0].got == [1, 1]
+
+    def test_message_and_congestion_metrics(self):
+        g = cycle_graph(4)
+        result = Simulator(Network(g), _Echo).run()
+        assert result.metrics.total_messages == 4  # 2 pings + 2 pongs
+        assert result.metrics.max_congestion == 2  # each of 0's edges: ping+pong
+
+    def test_quiescence_without_halt(self):
+        result = Simulator(Network(cycle_graph(4)), _Echo).run()
+        assert not result.halted  # nobody called halt(); run ended by quiet
+
+    def test_max_rounds_guard(self):
+        class Babbler(NodeProgram):
+            def __init__(self, node):
+                super().__init__()
+
+            def on_start(self, ctx):
+                ctx.send(0, (0,))
+
+            def on_round(self, ctx):
+                ctx.send(0, (0,))
+
+        with pytest.raises(ReproError):
+            Simulator(Network(cycle_graph(4)), lambda v: Babbler(v)).run(max_rounds=10)
+
+    def test_oversized_payload_rejected(self):
+        class Shouter(NodeProgram):
+            def on_start(self, ctx):
+                ctx.send(0, "x" * 1000)
+
+            def on_round(self, ctx):
+                pass
+
+        with pytest.raises(BandwidthExceeded):
+            Simulator(Network(cycle_graph(4)), lambda v: Shouter()).run()
+
+    def test_double_send_same_port_rejected(self):
+        class Doubler(NodeProgram):
+            def on_start(self, ctx):
+                ctx.send(0, (1,))
+                ctx.send(0, (2,))
+
+            def on_round(self, ctx):
+                pass
+
+        with pytest.raises(BandwidthExceeded):
+            Simulator(Network(cycle_graph(4)), lambda v: Doubler()).run()
+
+    def test_send_bad_port_rejected(self):
+        class BadPort(NodeProgram):
+            def on_start(self, ctx):
+                ctx.send(7, (1,))
+
+            def on_round(self, ctx):
+                pass
+
+        with pytest.raises(ProtocolError):
+            Simulator(Network(cycle_graph(4)), lambda v: BadPort()).run()
+
+    def test_halted_node_drops_messages(self):
+        class HaltEarly(NodeProgram):
+            def __init__(self, node):
+                super().__init__()
+                self.node = node
+                self.received = 0
+
+            def on_start(self, ctx):
+                if self.node == 0:
+                    ctx.halt()
+                elif self.node == 1:
+                    ctx.send_all(("hi",))
+
+            def on_round(self, ctx):
+                self.received += len(ctx.inbox)
+
+        g = path_graph(3)  # 0-1-2
+        result = Simulator(Network(g), HaltEarly).run()
+        assert result.programs[0].received == 0
+        assert result.programs[2].received == 1
+
+    def test_wake_without_messages(self):
+        class Sleeper(NodeProgram):
+            def __init__(self):
+                super().__init__()
+                self.wakeups = 0
+
+            def on_start(self, ctx):
+                ctx.wake()
+
+            def on_round(self, ctx):
+                self.wakeups += 1
+                if self.wakeups < 3:
+                    ctx.wake()
+
+        result = Simulator(Network(cycle_graph(3)), lambda v: Sleeper()).run()
+        assert result.metrics.rounds == 3
+        assert all(p.wakeups == 3 for p in result.programs)
+
+    def test_shared_knowledge_exposed(self):
+        seen = {}
+
+        class Reader(NodeProgram):
+            def __init__(self, node):
+                super().__init__()
+                self.node = node
+
+            def on_start(self, ctx):
+                seen[self.node] = (ctx.shared["n"], ctx.shared.get("delta"))
+
+            def on_round(self, ctx):
+                pass
+
+        Simulator(Network(cycle_graph(5)), Reader, shared={"delta": 2}).run()
+        assert seen[3] == (5, 2)
+
+    def test_factory_type_checked(self):
+        with pytest.raises(ReproError):
+            Simulator(Network(cycle_graph(3)), lambda v: object())
+
+    def test_per_node_rngs_differ(self):
+        draws = {}
+
+        class Roller(NodeProgram):
+            def __init__(self, node):
+                super().__init__()
+                self.node = node
+
+            def on_start(self, ctx):
+                draws[self.node] = ctx.rng.random()
+
+            def on_round(self, ctx):
+                pass
+
+        Simulator(Network(cycle_graph(4)), Roller, seed=5).run()
+        assert len(set(draws.values())) == 4
+
+
+class TestMetrics:
+    def test_bits_across(self):
+        m = Metrics(m=4)
+        m.record_message(0, 10)
+        m.record_message(0, 10)
+        m.record_message(2, 5)
+        assert m.bits_across(np.array([0])) == 2
+        assert m.bits_across(np.array([0, 2]), per_message_bits=8) == 24
+        assert m.max_congestion == 2
+
+    def test_summary(self):
+        m = Metrics(m=1)
+        m.record_message(0, 3)
+        s = m.summary()
+        assert s["messages"] == 1 and s["bits"] == 3

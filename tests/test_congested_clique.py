@@ -1,0 +1,69 @@
+"""Tests for the broadcast congested clique simulation (Section 1.2)."""
+
+import pytest
+
+from repro.core import SumAndLeaderBCC, simulate_bcc
+from repro.core.congested_clique import BCCAlgorithm
+from repro.graphs import thick_cycle
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def host():
+    return thick_cycle(10, 10)  # n = 100, λ = 20
+
+
+class TestSimulateBCC:
+    def test_semantics_end_to_end(self, host):
+        algs = [SumAndLeaderBCC(v, host.n, value=(v * 7) % 23) for v in range(host.n)]
+        out = simulate_bcc(host, algs, lam=20, C=1.5, seed=1)
+        assert out.bcc_rounds == 2
+        expected_sum = sum((v * 7) % 23 for v in range(host.n))
+        assert all(a.output["sum"] == expected_sum for a in algs)
+        assert all(a.output["unanimous"] for a in algs)
+
+    def test_packing_amortized_across_rounds(self, host):
+        algs = [SumAndLeaderBCC(v, host.n, value=v) for v in range(host.n)]
+        out = simulate_bcc(host, algs, lam=20, C=1.5, seed=1)
+        # Construction charged once; per-round costs are the broadcasts.
+        assert len(out.per_bcc_round_cost) == out.bcc_rounds
+        assert out.congest_rounds == out.packing.construction_rounds + sum(
+            out.per_bcc_round_cost
+        )
+
+    def test_per_round_cost_scale(self, host):
+        """One BCC round ≈ one n-message broadcast: Õ(n/λ) rounds."""
+        algs = [SumAndLeaderBCC(v, host.n, value=v) for v in range(host.n)]
+        out = simulate_bcc(host, algs, lam=20, C=1.5, seed=1)
+        import math
+
+        per = out.per_bcc_round_cost[0]
+        assert per <= 10 * (host.n / 20) * math.log(host.n)
+
+    def test_rejects_wrong_algorithm_count(self, host):
+        with pytest.raises(ValidationError):
+            simulate_bcc(host, [SumAndLeaderBCC(0, host.n, 1)], lam=20)
+
+    def test_rejects_oversized_message(self, host):
+        class Shouter(BCCAlgorithm):
+            def broadcast_message(self, bcc_round):
+                return tuple(range(100))  # way over O(log n) bits
+
+            def on_messages(self, bcc_round, messages):
+                return True
+
+        algs = [Shouter(v, host.n) for v in range(host.n)]
+        with pytest.raises(ValidationError):
+            simulate_bcc(host, algs, lam=20, C=1.5, seed=1)
+
+    def test_max_rounds_cap(self, host):
+        class Forever(BCCAlgorithm):
+            def broadcast_message(self, bcc_round):
+                return 1
+
+            def on_messages(self, bcc_round, messages):
+                return False  # never halts
+
+        algs = [Forever(v, host.n) for v in range(host.n)]
+        out = simulate_bcc(host, algs, lam=20, C=1.5, seed=1, max_bcc_rounds=3)
+        assert out.bcc_rounds == 3

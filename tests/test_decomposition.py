@@ -1,0 +1,109 @@
+"""Tests for Theorem 2: the zero-communication random edge partition."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Decomposition,
+    num_parts,
+    random_partition,
+    theorem2_diameter_bound,
+    validate_decomposition,
+)
+from repro.graphs import is_connected, random_regular, thick_cycle
+from repro.util.errors import ValidationError
+
+
+class TestNumParts:
+    def test_formula(self):
+        assert num_parts(46, 100, C=1.0) == int(46 / np.log(100))
+
+    def test_at_least_one(self):
+        assert num_parts(2, 1000) == 1
+
+    def test_tiny_graph(self):
+        assert num_parts(5, 2) == 1
+
+    def test_scales_with_C(self):
+        assert num_parts(60, 100, C=2.0) <= num_parts(60, 100, C=1.0)
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ValidationError):
+            num_parts(0, 100)
+
+
+class TestRandomPartition:
+    def test_every_edge_colored_once(self, reg_dense):
+        decomp = random_partition(reg_dense, 3, seed=1)
+        assert decomp.colors.shape == (reg_dense.m,)
+        assert decomp.colors.min() >= 0 and decomp.colors.max() < 3
+        # Masks partition the edge set.
+        total = sum(m.sum() for m in decomp.masks())
+        assert total == reg_dense.m
+
+    def test_deterministic_zero_communication(self, reg_dense):
+        a = random_partition(reg_dense, 3, seed=9)
+        b = random_partition(reg_dense, 3, seed=9)
+        assert np.array_equal(a.colors, b.colors)
+
+    def test_roughly_uniform(self, reg_dense):
+        decomp = random_partition(reg_dense, 4, seed=2)
+        sizes = decomp.class_sizes()
+        expected = reg_dense.m / 4
+        assert (np.abs(sizes - expected) < 0.4 * expected).all()
+
+    def test_subgraph_accessors(self, reg_dense):
+        decomp = random_partition(reg_dense, 2, seed=3)
+        subs = decomp.subgraphs()
+        assert len(subs) == 2
+        assert subs[0].m + subs[1].m == reg_dense.m
+        with pytest.raises(ValidationError):
+            decomp.mask(5)
+
+    def test_single_part_is_whole_graph(self, reg_small):
+        decomp = random_partition(reg_small, 1, seed=0)
+        assert decomp.mask(0).all()
+
+    def test_invalid_parts(self, reg_small):
+        with pytest.raises(ValidationError):
+            random_partition(reg_small, 0, seed=0)
+
+
+class TestTheorem2:
+    def test_all_classes_spanning_whp(self):
+        # δ = λ = 24, 2 parts → per-class degree 12 >> ln 80 ≈ 4.4.
+        g = random_regular(80, 24, seed=4)
+        decomp = random_partition(g, 2, seed=5)
+        for i in range(2):
+            assert is_connected(decomp.subgraph(i))
+
+    def test_validation_report(self, reg_dense):
+        decomp = random_partition(reg_dense, 2, seed=5)
+        rep = validate_decomposition(decomp, exact_diameter=True)
+        assert rep.all_spanning
+        assert rep.ok
+        assert rep.max_diameter <= rep.bound
+
+    def test_validation_catches_failure(self, reg_small):
+        # 6-regular into 6 parts: expected class degree 1 — certain failure.
+        decomp = random_partition(reg_small, 6, seed=1)
+        rep = validate_decomposition(decomp)
+        assert not rep.ok
+
+    def test_diameter_bound_formula(self):
+        assert theorem2_diameter_bound(100, 10, C=1.0) == pytest.approx(
+            20.0 * 100 * np.ceil(np.log(100)) / 10
+        )
+        # The default C=2 doubles L and hence the bound.
+        assert theorem2_diameter_bound(100, 10) == pytest.approx(
+            20.0 * 100 * np.ceil(2 * np.log(100)) / 10
+        )
+
+    def test_three_parts_on_thick_cycle(self):
+        # λ = δ = 24 on a high-diameter host: classes must stay connected
+        # *and* low-diameter relative to n log n/δ, not degrade to Ω(n).
+        g = thick_cycle(12, 12)  # n = 144, λ = 24
+        decomp = random_partition(g, 3, seed=2)
+        rep = validate_decomposition(decomp, exact_diameter=True)
+        assert rep.all_spanning
+        assert rep.max_diameter <= theorem2_diameter_bound(g.n, g.min_degree())

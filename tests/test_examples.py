@@ -1,0 +1,39 @@
+"""Smoke tests: every shipped example must run end to end.
+
+Examples are part of the public API surface (they are the first thing an
+adopter runs), so CI executes each one's ``main()`` and checks it completes
+without raising. Output content is the example's business; these tests only
+pin the contract that the demonstrated pipelines stay runnable.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    # Register so dataclasses/typing introspection inside the module works.
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_runs(path, capsys):
+    module = _load(path)
+    assert hasattr(module, "main"), f"{path.name} must expose main()"
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 100, f"{path.name} produced suspiciously little output"
+
+
+def test_examples_discovered():
+    assert len(EXAMPLES) >= 4, "expected at least four runnable examples"

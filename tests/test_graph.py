@@ -1,0 +1,150 @@
+"""Unit tests for the Graph container."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, complete_graph
+from repro.util.errors import ValidationError
+
+
+def tiny() -> Graph:
+    # 0-1, 0-2, 1-2, 2-3 ("triangle with a tail")
+    return Graph(4, [(0, 1), (0, 2), (1, 2), (2, 3)])
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        g = tiny()
+        assert g.n == 4 and g.m == 4
+
+    def test_edge_order_normalized(self):
+        g = Graph(3, [(2, 0), (1, 0)])
+        assert (g.edge_u < g.edge_v).all()
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValidationError):
+            Graph(3, [(1, 1)])
+
+    def test_rejects_parallel_edges(self):
+        with pytest.raises(ValidationError):
+            Graph(3, [(0, 1), (1, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            Graph(3, [(0, 3)])
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValidationError):
+            Graph(0, [])
+
+    def test_empty_edge_set_ok(self):
+        g = Graph(5, [])
+        assert g.m == 0 and g.min_degree() == 0
+
+    def test_weights_validated(self):
+        with pytest.raises(ValidationError):
+            Graph(3, [(0, 1)], weights=[0.0])
+        with pytest.raises(ValidationError):
+            Graph(3, [(0, 1)], weights=[1.0, 2.0])
+
+
+class TestQueries:
+    def test_degrees(self):
+        g = tiny()
+        assert g.degrees().tolist() == [2, 2, 3, 1]
+        assert g.min_degree() == 1
+        assert g.degree(2) == 3
+
+    def test_neighbors_sorted(self):
+        g = tiny()
+        assert g.neighbors(2).tolist() == [0, 1, 3]
+
+    def test_has_edge(self):
+        g = tiny()
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 3)
+        assert not g.has_edge(1, 1)
+
+    def test_edge_id_roundtrip(self):
+        g = tiny()
+        for eid in range(g.m):
+            u, v = g.edge_endpoints(eid)
+            assert g.edge_id(u, v) == eid
+            assert g.edge_id(v, u) == eid
+
+    def test_edge_id_missing_raises(self):
+        with pytest.raises(KeyError):
+            tiny().edge_id(0, 3)
+
+    def test_incident_edges_align_with_neighbors(self):
+        g = tiny()
+        for v in range(g.n):
+            for u, eid in zip(g.neighbors(v).tolist(), g.incident_edge_ids(v).tolist()):
+                a, b = g.edge_endpoints(eid)
+                assert {a, b} == {u, v}
+
+    def test_edges_iterator(self):
+        assert sorted(tiny().edges()) == [(0, 1), (0, 2), (1, 2), (2, 3)]
+
+    def test_total_weight(self):
+        assert tiny().total_weight() == 4.0
+        g = Graph(3, [(0, 1), (1, 2)], weights=[2.0, 3.0])
+        assert g.total_weight() == 5.0
+
+    def test_edge_weight_default_one(self):
+        assert tiny().edge_weight(0) == 1.0
+
+
+class TestDerived:
+    def test_edge_subgraph_spanning_nodes(self):
+        g = tiny()
+        sub = g.edge_subgraph(np.array([True, False, False, True]))
+        assert sub.n == 4 and sub.m == 2
+        assert sorted(sub.edges()) == [(0, 1), (2, 3)]
+
+    def test_edge_subgraph_with_map(self):
+        g = tiny()
+        sub, ids = g.edge_subgraph_with_map(np.array([False, True, True, False]))
+        assert ids.tolist() == [1, 2]
+
+    def test_edge_subgraph_bad_mask(self):
+        with pytest.raises(ValidationError):
+            tiny().edge_subgraph(np.array([True]))
+
+    def test_reweighted(self):
+        g = tiny().reweighted([1, 2, 3, 4])
+        assert g.is_weighted and g.weights.tolist() == [1, 2, 3, 4]
+
+    def test_unweighted_strips(self):
+        g = tiny().reweighted([1, 2, 3, 4]).unweighted()
+        assert not g.is_weighted
+
+
+class TestInterop:
+    def test_networkx_roundtrip(self):
+        g = tiny()
+        back = Graph.from_networkx(g.to_networkx())
+        assert g == back
+
+    def test_networkx_weighted_roundtrip(self):
+        g = tiny().reweighted([1.0, 2.0, 3.0, 4.0])
+        back = Graph.from_networkx(g.to_networkx())
+        assert back.is_weighted
+        assert sorted(back.weights.tolist()) == [1.0, 2.0, 3.0, 4.0]
+
+    def test_scipy_csr_symmetric(self):
+        a = tiny().to_scipy_csr()
+        assert (a != a.T).nnz == 0
+        assert a.shape == (4, 4)
+
+    def test_repr(self):
+        assert "n=4" in repr(tiny())
+
+    def test_equality_ignores_edge_order(self):
+        g1 = Graph(3, [(0, 1), (1, 2)])
+        g2 = Graph(3, [(1, 2), (0, 1)])
+        assert g1 == g2
+
+    def test_inequality(self):
+        assert Graph(3, [(0, 1)]) != Graph(3, [(0, 2)])
+        assert complete_graph(3) != complete_graph(4)

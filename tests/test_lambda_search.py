@@ -1,0 +1,67 @@
+"""Tests for the unknown-λ exponential search (Section 1.1 Remark)."""
+
+import pytest
+
+from repro.core import (
+    broadcast_unknown_lambda,
+    find_packing_unknown_lambda,
+    uniform_random_placement,
+)
+from repro.graphs import barbell, path_of_cliques, random_regular
+from repro.util.errors import ValidationError
+
+
+class TestSearch:
+    def test_accepts_quickly_when_lambda_equals_delta(self):
+        g = random_regular(80, 24, seed=4)
+        out = find_packing_unknown_lambda(g, seed=1, C=1.2)
+        # λ = δ here, so the very first guess (δ) should already validate.
+        assert out.iterations == 1
+        assert out.accepted_guess == 24
+        assert out.packing is not None
+        assert out.packing.is_edge_disjoint
+
+    def test_descends_when_delta_exceeds_lambda(self):
+        # Cliques of size 12 (δ = 11) joined by 2-edge bridges (λ = 2):
+        # guessing λ̃ = δ yields too many parts → classes disconnect →
+        # the search must halve at least once.
+        g = path_of_cliques(3, 12, 2)
+        out = find_packing_unknown_lambda(g, seed=2, C=1.0)
+        assert out.iterations >= 2
+        assert out.accepted_guess < g.min_degree()
+        assert out.packing is not None
+
+    def test_validation_rounds_accumulate(self):
+        g = path_of_cliques(3, 12, 2)
+        out = find_packing_unknown_lambda(g, seed=2, C=1.0)
+        assert len(out.validation_rounds) == out.iterations
+        assert out.total_validation_rounds >= out.iterations
+
+    def test_lambda_one_control(self):
+        g = barbell(8, bridge_len=2)
+        out = find_packing_unknown_lambda(g, seed=3)
+        assert out.packing.size == 1  # only the trivial 1-part decomposition
+
+    def test_zero_degree_raises(self):
+        from repro.graphs import Graph
+
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(ValidationError):
+            find_packing_unknown_lambda(g)
+
+
+class TestBroadcastUnknownLambda:
+    def test_end_to_end(self):
+        g = random_regular(80, 24, seed=4)
+        pl = uniform_random_placement(g.n, 60, seed=5)
+        res, search = broadcast_unknown_lambda(g, pl, seed=6, C=1.2)
+        assert res.delivered
+        assert res.algorithm == "fast/unknown-lambda"
+        assert res.phases["lambda_search"] == search.total_validation_rounds
+
+    def test_total_rounds_include_search_overhead(self):
+        g = path_of_cliques(3, 12, 2)
+        pl = uniform_random_placement(g.n, 20, seed=7)
+        res, search = broadcast_unknown_lambda(g, pl, seed=8, C=1.0)
+        assert search.iterations >= 2
+        assert res.rounds >= res.phases["pipeline"] + search.total_validation_rounds

@@ -1,0 +1,149 @@
+"""Tests for the paper's lower bounds (Theorems 3, 8, 9, 13)."""
+
+import numpy as np
+import pytest
+
+from repro.core import textbook_broadcast, uniform_random_placement
+from repro.graphs import edge_connectivity, random_regular, thick_cycle
+from repro.lower_bounds import (
+    Theorem3Certificate,
+    cut_bits_required,
+    decode_exponents,
+    id_entropy_bits,
+    kmax_for,
+    measure_packing_diameters,
+    theorem3_rounds_bound,
+    theorem8_rounds_bound,
+    theorem9_instance,
+    theorem13_prediction,
+    verify_broadcast_meets_bound,
+)
+from repro.util.errors import ValidationError
+
+
+class TestTheorem3:
+    def test_bound_formula(self):
+        # s = w: t >= k/(4λ) - 1.
+        assert theorem3_rounds_bound(400, 10, 32, 32) == pytest.approx(
+            400 / 40 - 1 / 16, rel=0.2
+        )
+
+    def test_bound_zero_for_tiny_k(self):
+        assert theorem3_rounds_bound(0, 5, 32, 32) == 0.0
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ValidationError):
+            theorem3_rounds_bound(10, 0, 32, 32)
+
+    def test_cut_bits(self):
+        assert cut_bits_required(100, 32) == 32 * 50 - 4
+
+    def test_real_execution_respects_bound(self):
+        g = thick_cycle(8, 5)  # λ = 10
+        k = 200
+        res = textbook_broadcast(g, uniform_random_placement(g.n, k, seed=1))
+        cert = verify_broadcast_meets_bound(
+            g, k, res.rounds, message_bits=32, bandwidth_bits=64
+        )
+        assert cert.holds
+        assert cert.lam == 10
+        assert cert.slack >= 1.0
+
+    def test_certificate_fields(self):
+        cert = Theorem3Certificate(
+            k=10, lam=2, cut_size=2, measured_rounds=100, bound_rounds=10.0
+        )
+        assert cert.holds and cert.slack == 10.0
+
+    def test_zero_bound_infinite_slack(self):
+        cert = Theorem3Certificate(
+            k=0, lam=2, cut_size=2, measured_rounds=5, bound_rounds=0.0
+        )
+        assert cert.slack == float("inf")
+
+
+class TestTheorem8:
+    def test_entropy_scale(self):
+        # Ω(n log n) bits.
+        bits = id_entropy_bits(1000, c=2.0)
+        assert bits == pytest.approx(500 * np.log2(1000))
+
+    def test_rounds_bound_scale(self):
+        # Ω(n/λ): doubling λ halves the bound.
+        b1 = theorem8_rounds_bound(1000, 10)
+        b2 = theorem8_rounds_bound(1000, 20)
+        assert b1 == pytest.approx(2 * b2)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            id_entropy_bits(1, 2.0)
+        with pytest.raises(ValidationError):
+            theorem8_rounds_bound(100, 0)
+
+
+class TestTheorem9:
+    def test_instance_edge_connectivity(self):
+        inst = theorem9_instance(30, 6, alpha=2.0, seed=1)
+        assert edge_connectivity(inst.graph) == 6
+
+    def test_closed_form_distances_match_dijkstra(self):
+        from scipy.sparse.csgraph import dijkstra
+
+        inst = theorem9_instance(25, 4, alpha=2.0, seed=2)
+        d = dijkstra(inst.graph.to_scipy_csr(), directed=False, indices=0)
+        assert np.allclose(d, inst.exact_distances_from_v1())
+
+    def test_decoding_from_exact(self):
+        inst = theorem9_instance(30, 5, alpha=2.0, seed=3)
+        decoded = decode_exponents(inst, inst.exact_distances_from_v1())
+        assert np.array_equal(decoded, inst.exponents)
+
+    def test_decoding_from_any_alpha_approx(self):
+        """The heart of Theorem 9: *any* α-approximation reveals the bits."""
+        inst = theorem9_instance(30, 5, alpha=2.0, seed=4)
+        exact = inst.exact_distances_from_v1()
+        rng = np.random.default_rng(5)
+        # Adversarial approximation: independent stretch per entry.
+        stretch = 1.0 + rng.random(inst.n) * (inst.alpha - 1.0)
+        decoded = decode_exponents(inst, exact * stretch)
+        assert np.array_equal(decoded, inst.exponents)
+
+    def test_bad_estimate_rejected(self):
+        inst = theorem9_instance(20, 4, alpha=2.0, seed=6)
+        est = inst.exact_distances_from_v1() * 10.0  # not a 2-approx
+        with pytest.raises(ValidationError):
+            decode_exponents(inst, est)
+
+    def test_kmax_shrinks_with_alpha(self):
+        assert kmax_for(1000, 8.0) < kmax_for(1000, 2.0)
+
+    def test_information_bound_positive(self):
+        inst = theorem9_instance(40, 4, alpha=2.0, seed=7)
+        assert inst.information_bits() > 0
+        assert inst.rounds_bound() > 0
+
+    def test_degenerate_params_rejected(self):
+        with pytest.raises(ValidationError):
+            theorem9_instance(5, 10)
+        with pytest.raises(ValidationError):
+            theorem9_instance(10, 1)
+
+
+class TestTheorem13:
+    def test_prediction_scale(self):
+        deep, scale = theorem13_prediction(4096, 64)
+        assert scale == 64.0
+
+    def test_measured_trees_are_deep(self):
+        rep = measure_packing_diameters(48, 32, seed=1)
+        assert rep.parts >= 2
+        # Host diameter stays logarithmic…
+        assert rep.host_diameter <= 3 * np.log2(rep.n)
+        # …but the packed trees must walk the thick path: Ω(n/λ) deep.
+        assert rep.trees_above(0.25) >= rep.parts - 2
+        assert rep.max_tree_diameter >= rep.length // 4
+
+    def test_report_accessors(self):
+        rep = measure_packing_diameters(48, 32, seed=1)
+        assert rep.min_tree_diameter <= rep.max_tree_diameter
+        assert len(rep.tree_diameters) == rep.parts

@@ -1,0 +1,106 @@
+"""Tests for graph properties: diameter, Observation 1, conductance, cuts."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Graph,
+    approx_diameter,
+    check_observation1,
+    complete_graph,
+    conductance_upper_bound,
+    cut_value,
+    cycle_graph,
+    diameter,
+    min_cut,
+    observation1_bound,
+    path_graph,
+    random_regular,
+    thick_cycle,
+    volume,
+)
+from repro.util.errors import ValidationError
+
+
+class TestDiameter:
+    def test_exact_values(self):
+        assert diameter(path_graph(9)) == 8
+        assert diameter(cycle_graph(9)) == 4
+        assert diameter(complete_graph(5)) == 1
+        assert diameter(Graph(1, [])) == 0
+
+    def test_disconnected_raises(self):
+        with pytest.raises(ValidationError):
+            diameter(Graph(3, [(0, 1)]))
+
+    def test_approx_is_lower_bound_and_exact_on_these(self):
+        for g in (path_graph(20), cycle_graph(15), random_regular(40, 4, seed=3)):
+            approx = approx_diameter(g, samples=6, seed=1)
+            exact = diameter(g)
+            assert approx <= exact
+            # Double sweep is exact on paths and near-exact on these sizes.
+            assert approx >= exact - 1
+
+    def test_approx_disconnected_raises(self):
+        with pytest.raises(ValidationError):
+            approx_diameter(Graph(3, [(0, 1)]))
+
+
+class TestObservation1:
+    def test_bound_formula(self):
+        assert observation1_bound(100, 10) == 30.0
+
+    def test_holds_on_families(self):
+        for g in (
+            path_graph(30),
+            cycle_graph(30),
+            random_regular(40, 6, seed=2),
+            thick_cycle(8, 3),
+        ):
+            d, bound = check_observation1(g)
+            assert d <= bound
+
+    def test_tightness_on_path(self):
+        # The path graph has D = n-1 and δ = 1: D/(n/δ) = (n-1)/n → the
+        # bound is tight up to the constant 3.
+        g = path_graph(50)
+        d, bound = check_observation1(g)
+        assert d / bound > 0.3
+
+    def test_zero_degree_raises(self):
+        with pytest.raises(ValidationError):
+            observation1_bound(10, 0)
+
+
+class TestCutsAndConductance:
+    def test_cut_value_unweighted(self):
+        g = cycle_graph(8)
+        side = np.zeros(8, dtype=bool)
+        side[:4] = True
+        assert cut_value(g, side) == 2
+
+    def test_cut_value_weighted(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)], weights=[5, 7, 9])
+        side = np.array([True, True, False, False])
+        assert cut_value(g, side) == 7
+
+    def test_cut_value_bad_mask(self):
+        with pytest.raises(ValidationError):
+            cut_value(cycle_graph(5), np.ones(4, dtype=bool))
+
+    def test_volume(self):
+        g = complete_graph(4)
+        side = np.array([True, True, False, False])
+        assert volume(g, side) == 6
+
+    def test_conductance_min_cut_bound(self):
+        # The paper's observation: a minimum cut witnesses φ = O(λ/δ).
+        g = thick_cycle(10, 3)
+        side, cut = min_cut(g)
+        phi = conductance_upper_bound(g, side)
+        lam, delta = len(cut), g.min_degree()
+        assert phi <= 2.0 * lam / delta  # constant-2 slack
+
+    def test_conductance_empty_side_raises(self):
+        with pytest.raises(ValidationError):
+            conductance_upper_bound(cycle_graph(5), np.zeros(5, dtype=bool))

@@ -1,0 +1,94 @@
+"""Tests for Lemma 5: random edge sampling yields spanning low-diameter
+subgraphs."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    analyze_sample,
+    lemma5_diameter_bound,
+    sample_edges,
+    sampling_probability,
+)
+from repro.graphs import is_connected, random_regular, thick_cycle
+from repro.util.errors import ValidationError
+
+
+class TestSamplingProbability:
+    def test_formula(self):
+        p = sampling_probability(100, 10, C=2.0)
+        assert p == pytest.approx(2.0 * np.log(100) / 10)
+
+    def test_caps_at_one(self):
+        assert sampling_probability(100, 1, C=5.0) == 1.0
+
+    def test_tiny_n(self):
+        assert sampling_probability(1, 3) == 1.0
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ValidationError):
+            sampling_probability(10, 0)
+
+
+class TestSampleEdges:
+    def test_deterministic_in_seed(self, reg_medium):
+        a = sample_edges(reg_medium, 0.5, seed=3)
+        b = sample_edges(reg_medium, 0.5, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self, reg_medium):
+        a = sample_edges(reg_medium, 0.5, seed=3)
+        b = sample_edges(reg_medium, 0.5, seed=4)
+        assert not np.array_equal(a, b)
+
+    def test_rate_concentrates(self, reg_medium):
+        mask = sample_edges(reg_medium, 0.4, seed=1)
+        rate = mask.mean()
+        assert 0.25 < rate < 0.55
+
+    def test_p_bounds(self, reg_medium):
+        assert not sample_edges(reg_medium, 0.0, seed=1).any()
+        assert sample_edges(reg_medium, 1.0, seed=1).all()
+        with pytest.raises(ValidationError):
+            sample_edges(reg_medium, 1.2, seed=1)
+
+
+class TestLemma5:
+    def test_bound_formula(self):
+        b = lemma5_diameter_bound(100, 10, C=2.0)
+        assert b > 0
+        assert b == pytest.approx(20.0 * 100 * np.ceil(2.0 * np.log(100)) / 10)
+
+    def test_sampled_subgraph_spans_whp(self):
+        # λ = δ = 16; p = C ln n / λ with C = 3 is comfortably supercritical.
+        g = random_regular(128, 16, seed=8)
+        p = sampling_probability(g.n, 16, C=3.0)
+        successes = 0
+        for seed in range(5):
+            mask = sample_edges(g, p, seed=seed)
+            if is_connected(g.edge_subgraph(mask)):
+                successes += 1
+        assert successes >= 4  # w.h.p. at this scale; allow one fluke
+
+    def test_report_within_bound(self):
+        g = random_regular(128, 16, seed=8)
+        p = sampling_probability(g.n, 16, C=3.0)
+        rep = analyze_sample(g, sample_edges(g, p, seed=1), C=3.0)
+        assert rep.spanning
+        assert rep.within_bound
+        assert rep.diameter < rep.bound / 10  # proof constant is loose
+
+    def test_report_detects_disconnection(self, reg_medium):
+        mask = np.zeros(reg_medium.m, dtype=bool)
+        mask[0] = True
+        rep = analyze_sample(reg_medium, mask)
+        assert not rep.spanning and rep.diameter == -1 and not rep.within_bound
+
+    def test_diameter_scale_on_thick_cycle(self):
+        # Thick cycle: host D ~ groups/2; sampled subgraph diameter must stay
+        # within the same order (the n log n / δ scale), not blow up to n.
+        g = thick_cycle(16, 8)  # n=128, λ=δ=16
+        p = sampling_probability(g.n, 16, C=3.0)
+        rep = analyze_sample(g, sample_edges(g, p, seed=2), C=3.0)
+        assert rep.spanning
+        assert rep.diameter <= rep.bound

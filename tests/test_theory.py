@@ -1,0 +1,66 @@
+"""Tests for the closed-form round predictors."""
+
+import pytest
+
+from repro import theory
+from repro.util.errors import ValidationError
+
+
+class TestPredictors:
+    def test_textbook_linear_in_k(self):
+        assert theory.predict_textbook_rounds(10, 200) == 6 * 10 + 2 * 200
+
+    def test_fast_decreases_with_lambda(self):
+        slow = theory.predict_fast_rounds(1000, 4000, delta=10, lam=10)
+        fast = theory.predict_fast_rounds(1000, 4000, delta=40, lam=40)
+        assert fast < slow
+
+    def test_fast_rejects_delta_below_lambda(self):
+        with pytest.raises(ValidationError):
+            theory.predict_fast_rounds(100, 100, delta=5, lam=10)
+
+    def test_combined_is_min(self):
+        n, k, delta, lam, D = 500, 5000, 20, 20, 12
+        combo = theory.predict_combined_rounds(n, k, delta, lam, D)
+        assert combo == min(
+            theory.predict_textbook_rounds(D, k),
+            theory.predict_fast_rounds(n, k, delta, lam),
+        )
+
+    def test_crossover_exists(self):
+        """Small k favors textbook; huge k favors fast (the E3 crossover)."""
+        n, delta, lam, D = 500, 25, 25, 10
+        small = theory.predict_textbook_rounds(D, 10) < theory.predict_fast_rounds(
+            n, 10, delta, lam
+        )
+        large = theory.predict_textbook_rounds(D, 50_000) > theory.predict_fast_rounds(
+            n, 50_000, delta, lam
+        )
+        assert small and large
+
+
+class TestLowerBoundFormulas:
+    def test_theorem3(self):
+        assert theory.theorem3_lower_bound(4000, 10) == pytest.approx(99.0)
+        assert theory.theorem3_lower_bound(1, 100) == 0.0
+
+    def test_theorem8(self):
+        assert theory.theorem8_lower_bound(4000, 10) == pytest.approx(99.0)
+
+    def test_theorem9_scales(self):
+        loose = theory.theorem9_lower_bound(1000, 10, alpha=16.0)
+        tight = theory.theorem9_lower_bound(1000, 10, alpha=2.0)
+        assert tight > loose  # better approximation -> higher cost
+
+    def test_theorem11_min_structure(self):
+        import math
+
+        by_bits = theory.theorem11_lower_bound(100, 10**6, 10)
+        by_cut = theory.theorem11_lower_bound(10**12, 1000, 10)
+        assert by_bits == pytest.approx(100 / math.log2(10**6) ** 2)
+        assert by_cut == 100.0
+
+    def test_universal_ratio(self):
+        assert theory.universal_optimality_ratio(100, 1000, 10) == 1.0
+        with pytest.raises(ValidationError):
+            theory.universal_optimality_ratio(10, 0, 5)

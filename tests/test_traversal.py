@@ -1,0 +1,104 @@
+"""Tests for the centralized BFS kernels (ground truth for everything else)."""
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.graphs import (
+    Graph,
+    all_pairs_distances,
+    bfs_distances,
+    bfs_tree,
+    connected_components,
+    cycle_graph,
+    eccentricity,
+    hypercube,
+    is_connected,
+    path_graph,
+    random_regular,
+)
+
+
+class TestBFSDistances:
+    def test_path(self):
+        g = path_graph(6)
+        assert bfs_distances(g, 0).tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert bfs_distances(g, 0).tolist() == [0, 1, 2, 3, 2, 1]
+
+    def test_disconnected_marks_unreached(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        d = bfs_distances(g, 0)
+        assert d[2] == -1 and d[3] == -1
+
+    def test_isolated_source(self):
+        g = Graph(3, [(1, 2)])
+        d = bfs_distances(g, 0)
+        assert d.tolist() == [0, -1, -1]
+
+    def test_matches_networkx_on_random_graph(self):
+        g = random_regular(50, 5, seed=3)
+        nxg = g.to_networkx()
+        for src in (0, 17, 42):
+            ours = bfs_distances(g, src)
+            theirs = nx.single_source_shortest_path_length(nxg, src)
+            for v in range(g.n):
+                assert ours[v] == theirs[v]
+
+    def test_hypercube_distance_is_hamming(self):
+        g = hypercube(4)
+        d = bfs_distances(g, 0)
+        for v in range(16):
+            assert d[v] == bin(v).count("1")
+
+
+class TestBFSTree:
+    def test_parent_consistency(self):
+        g = random_regular(40, 4, seed=5)
+        parent, dist = bfs_tree(g, 0)
+        assert parent[0] == 0
+        for v in range(1, g.n):
+            p = int(parent[v])
+            assert g.has_edge(p, v)
+            assert dist[v] == dist[p] + 1
+
+    def test_deterministic_smallest_parent(self):
+        # Node 3 reachable from both 1 and 2 at distance 1; parent must be 1.
+        g = Graph(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        parent, _ = bfs_tree(g, 0)
+        assert parent[3] == 1
+
+    def test_unreachable_parent_is_minus_one(self):
+        g = Graph(3, [(0, 1)])
+        parent, _ = bfs_tree(g, 0)
+        assert parent[2] == -1
+
+
+class TestAggregates:
+    def test_all_pairs_symmetric(self):
+        g = random_regular(30, 4, seed=7)
+        d = all_pairs_distances(g)
+        assert np.array_equal(d, d.T)
+        assert (np.diag(d) == 0).all()
+
+    def test_eccentricity(self):
+        assert eccentricity(path_graph(5), 0) == 4
+        assert eccentricity(path_graph(5), 2) == 2
+
+    def test_eccentricity_disconnected(self):
+        assert eccentricity(Graph(3, [(0, 1)]), 0) == -1
+
+    def test_connected_components(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        labels = connected_components(g)
+        assert labels[0] == labels[1] == 0
+        assert labels[2] == labels[3] == 2
+        assert labels[4] == 4
+
+    def test_is_connected(self):
+        assert is_connected(cycle_graph(5))
+        assert not is_connected(Graph(3, [(0, 1)]))
+        assert is_connected(Graph(1, []))
