@@ -10,9 +10,22 @@ scaling predictions that the other experiments only probe pointwise:
 * **vs λ** (n fixed; k fixed): textbook is flat (it never looks at λ),
   while fast decreases ≈ 1/λ until the prologue/packing floor — the
   "connectivity buys bandwidth" claim itself.
+
+**Backends.** E13c cross-checks the two backends on the largest config the
+simulator can stomach — the phase ledgers must be identical and the
+vectorized engine must be ≥ 10× faster wall-clock. E13a/E13b/E13d then run
+on the vectorized backend, which is what lets E13d push to graph sizes the
+simulator never reached (the certified round counts are the same numbers;
+``tests/test_engine_equivalence.py`` is the proof).
+
+Set ``E13_QUICK=1`` for the CI smoke: only the smallest config, both
+backends, ledger equality asserted, no timing assertions.
 """
 
 from __future__ import annotations
+
+import os
+import time
 
 from benchmarks.conftest import run_once
 from repro.core import fast_broadcast, textbook_broadcast, uniform_random_placement
@@ -20,8 +33,36 @@ from repro.graphs import thick_cycle
 from repro.util.tables import Table
 
 
+def _both_backends(groups: int, size: int, k: int, lam: int, seed: int):
+    """Run textbook+fast on both backends; return ((text, fast), seconds) per
+    backend and assert the certified ledgers are identical."""
+    g = thick_cycle(groups, size)
+    pl = uniform_random_placement(g.n, k, seed=seed)
+    out = {}
+    for backend in ("simulator", "vectorized"):
+        t0 = time.perf_counter()
+        text = textbook_broadcast(g, pl, backend=backend)
+        fast = fast_broadcast(g, pl, lam=lam, C=1.5, seed=1, backend=backend)
+        out[backend] = (text, fast, time.perf_counter() - t0)
+    text_sim, fast_sim, _ = out["simulator"]
+    text_vec, fast_vec, _ = out["vectorized"]
+    assert text_sim.phases == text_vec.phases, "textbook ledgers diverged"
+    assert fast_sim.phases == fast_vec.phases, "fast ledgers diverged"
+    assert text_sim.max_congestion == text_vec.max_congestion
+    assert fast_sim.max_congestion == fast_vec.max_congestion
+    return out
+
+
+def run_quick():
+    """CI smoke: smallest config, both backends, ledgers must match."""
+    out = _both_backends(groups=8, size=10, k=2 * 80, lam=20, seed=8)
+    text, fast, _ = out["vectorized"]
+    assert text.rounds / fast.rounds >= 1.5
+    return out
+
+
 def run_experiment():
-    # Series 1: n grows, λ = 20 fixed, k = 2n.
+    # Series 1: n grows, λ = 20 fixed, k = 2n (vectorized backend).
     t1 = Table(
         ["n", "k", "textbook", "fast", "ratio"],
         title="E13a — rounds vs n (thick cycle, group=10, λ=20, k=2n)",
@@ -31,8 +72,8 @@ def run_experiment():
         g = thick_cycle(groups, 10)
         k = 2 * g.n
         pl = uniform_random_placement(g.n, k, seed=groups)
-        text = textbook_broadcast(g, pl)
-        fast = fast_broadcast(g, pl, lam=20, C=1.5, seed=1, distributed_packing=False)
+        text = textbook_broadcast(g, pl, backend="vectorized")
+        fast = fast_broadcast(g, pl, lam=20, C=1.5, seed=1, backend="vectorized")
         t1.add_row([g.n, k, text.rounds, fast.rounds,
                     round(text.rounds / fast.rounds, 2)])
         series1.append((g.n, text.rounds, fast.rounds))
@@ -54,8 +95,8 @@ def run_experiment():
         g = thick_cycle(groups, size)
         lam = 2 * size
         pl = uniform_random_placement(g.n, k, seed=7)
-        text = textbook_broadcast(g, pl)
-        fast = fast_broadcast(g, pl, lam=lam, C=1.5, seed=2, distributed_packing=False)
+        text = textbook_broadcast(g, pl, backend="vectorized")
+        fast = fast_broadcast(g, pl, lam=lam, C=1.5, seed=2, backend="vectorized")
         t2.add_row([g.n, lam, k, text.rounds, fast.rounds,
                     fast.phases["pipeline"]])
         series2.append((lam, text.rounds, fast.rounds))
@@ -66,8 +107,47 @@ def run_experiment():
     fasts = [f for _, _, f in series2]
     assert all(a >= b for a, b in zip(fasts, fasts[1:])), fasts
     assert fasts[0] / fasts[-1] >= 2.5
-    return series1, series2
+
+    # Series 3: backend cross-check + wall-clock speedup on the largest
+    # config E13a gives the simulator (n=320, k=640).
+    t3 = Table(
+        ["backend", "textbook_rounds", "fast_rounds", "seconds"],
+        title="E13c — backend equivalence + speedup (n=320, k=640, λ=20)",
+    )
+    out = _both_backends(groups=32, size=10, k=640, lam=20, seed=32)
+    for backend in ("simulator", "vectorized"):
+        text, fast, secs = out[backend]
+        t3.add_row([backend, text.rounds, fast.rounds, round(secs, 3)])
+    t3.print()
+    speedup = out["simulator"][2] / out["vectorized"][2]
+    print(f"E13c vectorized speedup: {speedup:.1f}x")
+    assert speedup >= 10.0, f"vectorized speedup only {speedup:.1f}x"
+
+    # Series 4: vectorized-only scale-up — sizes the simulator never reached
+    # (the fast/textbook gap must persist, not collapse, at scale).
+    t4 = Table(
+        ["n", "lam", "k", "textbook", "fast", "ratio"],
+        title="E13d — vectorized-only scale-up (k=2n, λ=2·size)",
+    )
+    series4 = []
+    for groups, size in ((64, 20), (128, 30), (192, 40)):
+        g = thick_cycle(groups, size)
+        lam = 2 * size
+        k = 2 * g.n
+        pl = uniform_random_placement(g.n, k, seed=groups)
+        text = textbook_broadcast(g, pl, backend="vectorized")
+        fast = fast_broadcast(g, pl, lam=lam, C=1.5, seed=3, backend="vectorized")
+        t4.add_row([g.n, lam, k, text.rounds, fast.rounds,
+                    round(text.rounds / fast.rounds, 2)])
+        series4.append((g.n, text.rounds, fast.rounds))
+    t4.print()
+    assert all(t / f >= 2.0 for _, t, f in series4)
+
+    return series1, series2, series4
 
 
 def test_e13_scaling(benchmark):
-    run_once(benchmark, run_experiment)
+    if os.environ.get("E13_QUICK") == "1":
+        run_once(benchmark, run_quick)
+    else:
+        run_once(benchmark, run_experiment)

@@ -13,6 +13,8 @@ Public API highlights (see README.md for the tour):
 * :mod:`repro.cuts` — (1+ε) all-cuts approximation (Theorem 7).
 * :mod:`repro.lower_bounds` — the paper's lower bounds (Theorems 3, 8, 9,
   11, 13) as checkable bounds and hard-instance generators.
+* :mod:`repro.engine` — vectorized fast-path backend: bit-identical results
+  and round counts via numpy frontier sweeps (``backend="vectorized"``).
 * :mod:`repro.theory` — closed-form round-complexity predictions used by the
   benchmark harness.
 """

@@ -96,14 +96,17 @@ def _cmd_broadcast(args) -> int:
     g = parse_graph_spec(args.graph)
     placement = uniform_random_placement(g.n, args.k, seed=args.seed)
     if args.algorithm == "textbook":
-        res = textbook_broadcast(g, placement)
+        res = textbook_broadcast(g, placement, backend=args.backend)
     elif args.algorithm == "fast":
-        res = fast_broadcast(g, placement, C=args.C, seed=args.seed)
+        res = fast_broadcast(g, placement, C=args.C, seed=args.seed, backend=args.backend)
     elif args.algorithm == "combined":
-        res = combined_broadcast(g, placement, C=args.C, seed=args.seed)
+        res = combined_broadcast(g, placement, C=args.C, seed=args.seed, backend=args.backend)
     else:
-        res, _search = broadcast_unknown_lambda(g, placement, seed=args.seed, C=args.C)
+        res, _search = broadcast_unknown_lambda(
+            g, placement, seed=args.seed, C=args.C, backend=args.backend
+        )
     print(f"algorithm: {res.algorithm}")
+    print(f"backend: {args.backend}")
     print(f"n={res.n} k={res.k} trees={res.parts}")
     for phase, rounds in res.phases.items():
         print(f"  {phase:<18} {rounds}")
@@ -119,7 +122,7 @@ def _cmd_packing(args) -> int:
     lam = edge_connectivity(g)
     parts = args.parts if args.parts else num_parts(lam, g.n, args.C)
     packing, attempts = build_packing_with_retry(
-        g, parts, seed=args.seed, distributed=True
+        g, parts, seed=args.seed, distributed=True, backend=args.backend
     )
     print(f"lambda={lam} parts={parts} attempts={attempts}")
     print(f"edge_disjoint={packing.is_edge_disjoint} congestion={packing.congestion}")
@@ -180,12 +183,24 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--C", type=float, default=2.0, help="Theorem 2 constant")
 
+    def backend_opt(p):
+        # Only on commands that actually honor it (broadcast, packing); the
+        # APSP/cuts pipelines are simulator-only for now (see ROADMAP).
+        p.add_argument(
+            "--backend",
+            choices=["simulator", "vectorized"],
+            default="simulator",
+            help="simulator = certified CONGEST execution; vectorized = "
+            "identical results via the numpy fast-path engine",
+        )
+
     p = sub.add_parser("info", help="graph family parameters")
     p.add_argument("graph")
     p.set_defaults(fn=_cmd_info)
 
     p = sub.add_parser("broadcast", help="run a k-broadcast")
     common(p)
+    backend_opt(p)
     p.add_argument("-k", type=int, required=True, help="number of messages")
     p.add_argument(
         "--algorithm",
@@ -196,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("packing", help="build a Theorem 2 tree packing")
     common(p)
+    backend_opt(p)
     p.add_argument("--parts", type=int, default=0)
     p.set_defaults(fn=_cmd_packing)
 

@@ -64,7 +64,38 @@ class Network:
             raise ValidationError(f"node {v} has no port {port}")
         return int(eids[port])
 
-    def ports_for_edges(self, v: int, edge_ids: set[int]) -> list[int]:
-        """Ports of ``v`` whose edges are in ``edge_ids`` (for color classes)."""
+    def ports_for_edges(self, v: int, edge_ids) -> list[int]:
+        """Ports of ``v`` whose edges are in ``edge_ids`` (for color classes).
+
+        ``edge_ids`` may be a boolean edge mask of shape ``(m,)`` (one fancy
+        gather), or any set/sequence of edge ids (``np.isin`` over the port
+        edge-id array). Both are vectorized — this is called O(n·λ') times
+        during parallel-BFS setup, so the old per-port Python loop dominated
+        channel construction.
+        """
         eids = self.graph.incident_edge_ids(v)
-        return [p for p, e in enumerate(eids.tolist()) if e in edge_ids]
+        if isinstance(edge_ids, np.ndarray) and edge_ids.dtype == np.bool_:
+            if edge_ids.shape != (self.graph.m,):
+                raise ValidationError(
+                    f"edge mask shape {edge_ids.shape} does not match "
+                    f"m={self.graph.m}"
+                )
+            selected = edge_ids[eids]
+        else:
+            if isinstance(edge_ids, (set, frozenset)):
+                edge_ids = np.fromiter(
+                    edge_ids, dtype=np.int64, count=len(edge_ids)
+                )
+            ids = np.asarray(edge_ids, dtype=np.int64)
+            if (
+                ids.shape == (self.graph.m,)
+                and ids.size > 2
+                and np.isin(ids, (0, 1)).all()
+            ):
+                raise ValidationError(
+                    "ambiguous edge selector: a 0/1 sequence of length m "
+                    "looks like a mask but is not bool-typed; pass a bool "
+                    "mask or explicit edge ids"
+                )
+            selected = np.isin(eids, ids)
+        return np.nonzero(selected)[0].tolist()

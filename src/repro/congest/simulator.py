@@ -29,6 +29,18 @@ from repro.util.rng import ensure_rng, spawn_rngs
 __all__ = ["Simulator", "SimulationResult"]
 
 
+def _typed_cache_key(payload):
+    """Hashable cache key distinguishing equal-but-differently-typed values.
+
+    ``bits_for_payload`` prices by type (bool: 1 bit, int: magnitude+sign),
+    so the memo key must carry element types, not just values.
+    """
+    cls = payload.__class__
+    if cls is tuple or cls is list:
+        return (cls.__name__, tuple(_typed_cache_key(item) for item in payload))
+    return (cls.__name__, payload)
+
+
 class SimulationResult:
     """Outcome of one run: per-node programs (with outputs) plus metrics."""
 
@@ -105,14 +117,21 @@ class Simulator:
     # ------------------------------------------------------------------ #
 
     def _payload_bits(self, payload) -> int:
-        """Memoized bit size (payloads are overwhelmingly repeated shapes)."""
+        """Memoized bit size (payloads are overwhelmingly repeated shapes).
+
+        The cache key is *type-aware*: plain value keys would conflate
+        payloads that compare equal across types — ``hash(True) == hash(1)``
+        and ``(0, 1) == (False, True)`` — and a bool-carrying payload would
+        be charged the cached bit size of an equal int payload (1 bit vs 2).
+        """
         try:
-            cached = self._bitsize_cache.get(payload)
+            key = _typed_cache_key(payload)
+            cached = self._bitsize_cache.get(key)
         except TypeError:  # unhashable payload: compute directly
             return bits_for_payload(payload)
         if cached is None:
             cached = bits_for_payload(payload)
-            self._bitsize_cache[payload] = cached
+            self._bitsize_cache[key] = cached
         return cached
 
     def run(self, max_rounds: int = 1_000_000) -> SimulationResult:

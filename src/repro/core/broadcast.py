@@ -119,21 +119,41 @@ class BroadcastResult:
 
 
 def _number_messages(
-    graph: Graph, placement: dict[int, int]
+    graph: Graph, placement: dict[int, int], backend: str = "simulator"
 ) -> tuple[int, BFSResult, np.ndarray, dict[str, int]]:
-    """Shared prologue: leader election, global BFS, Lemma 3 numbering."""
+    """Shared prologue: leader election, global BFS, Lemma 3 numbering.
+
+    Both backends produce the same leader, tree, starts, and per-phase round
+    counts; the vectorized one skips the per-node state machines entirely.
+    """
     counts = np.zeros(graph.n, dtype=np.int64)
     for v, c in placement.items():
         if c < 0:
             raise ValidationError("message counts must be non-negative")
         counts[v] = c
-    leader, r_leader = elect_leader(graph)
-    tree = run_bfs(graph, leader)
+    if backend == "vectorized":
+        from repro.engine.fastpath import (
+            vectorized_elect_leader as elect,
+            vectorized_numbering as number,
+        )
+    else:
+        elect, number = elect_leader, assign_item_numbers
+    leader, r_leader = elect(graph)
+    tree = run_bfs(graph, leader, backend=backend)
     if not tree.spans():
         raise ValidationError("graph must be connected for broadcast")
-    starts, r_num = assign_item_numbers(graph, tree, counts)
+    starts, r_num = number(graph, tree, counts)
     phases = {"leader_election": r_leader, "global_bfs": tree.rounds, "numbering": r_num}
     return leader, tree, starts, phases
+
+
+def _run_pipeline(graph, trees, per_channel, verify, backend):
+    """Dispatch the Lemma 1 pipeline to the chosen backend."""
+    if backend == "vectorized":
+        from repro.engine.fastpath import vectorized_tree_broadcast
+
+        return vectorized_tree_broadcast(graph, trees, per_channel, verify=verify)
+    return run_tree_broadcast(graph, trees, per_channel, verify=verify)
 
 
 def _placement_ids(
@@ -147,13 +167,19 @@ def _placement_ids(
 
 
 def textbook_broadcast(
-    graph: Graph, placement: dict[int, int], verify: bool = True
+    graph: Graph,
+    placement: dict[int, int],
+    verify: bool = True,
+    backend: str = "simulator",
 ) -> BroadcastResult:
     """Lemma 1's O(D + k) pipeline over a single BFS tree."""
+    from repro.engine import validate_backend
+
+    validate_backend(backend)
     k = sum(placement.values())
-    leader, tree, starts, phases = _number_messages(graph, placement)
+    leader, tree, starts, phases = _number_messages(graph, placement, backend)
     ids = _placement_ids(placement, starts)
-    outcome = run_tree_broadcast(graph, {0: tree}, {0: ids}, verify=verify)
+    outcome = _run_pipeline(graph, {0: tree}, {0: ids}, verify, backend)
     phases["pipeline"] = outcome.rounds
     return BroadcastResult(
         algorithm="textbook",
@@ -177,6 +203,7 @@ def fast_broadcast(
     distributed_packing: bool = True,
     decomposition: Decomposition | None = None,
     packing: TreePacking | None = None,
+    backend: str = "simulator",
 ) -> BroadcastResult:
     """Theorem 1's Õ((n + k)/λ)-round broadcast.
 
@@ -193,19 +220,28 @@ def fast_broadcast(
         broadcast instances is exactly what Section 1 suggests); their
         construction rounds are then charged as 0 here.
     distributed_packing: build trees on the simulator (certified rounds) or
-        centrally with equivalent output (fast path for sweeps).
+        centrally with equivalent output (fast path for sweeps); only
+        consulted under ``backend="simulator"``.
+    backend: ``"simulator"`` executes every phase on the CONGEST simulator;
+        ``"vectorized"`` computes the identical phase ledger with the numpy
+        engine (see :mod:`repro.engine`).
     """
+    from repro.engine import validate_backend
     from repro.graphs.connectivity import edge_connectivity
 
+    validate_backend(backend)
     k = sum(placement.values())
     if lam is None and decomposition is None and packing is None:
         lam = edge_connectivity(graph)
-    leader, gtree, starts, phases = _number_messages(graph, placement)
+    leader, gtree, starts, phases = _number_messages(graph, placement, backend)
 
     if packing is None:
         if decomposition is not None:
             packing = build_tree_packing(
-                decomposition, root=leader, distributed=distributed_packing
+                decomposition,
+                root=leader,
+                distributed=distributed_packing,
+                backend=backend,
             )
         else:
             from repro.core.tree_packing import build_packing_with_retry
@@ -217,6 +253,7 @@ def fast_broadcast(
                 seed,
                 root=leader,
                 distributed=distributed_packing,
+                backend=backend,
             )
         phases["tree_packing"] = packing.construction_rounds
     else:
@@ -233,7 +270,7 @@ def fast_broadcast(
             per_channel[c].setdefault(v, []).append(j)
 
     trees = {c: _bfs_view(packing, c) for c in range(parts)}
-    outcome = run_tree_broadcast(graph, trees, per_channel, verify=verify)
+    outcome = _run_pipeline(graph, trees, per_channel, verify, backend)
     phases["pipeline"] = outcome.rounds
     return BroadcastResult(
         algorithm="fast",
@@ -269,6 +306,7 @@ def combined_broadcast(
     C: float = 2.0,
     seed: int = 0,
     verify: bool = True,
+    backend: str = "simulator",
 ) -> BroadcastResult:
     """Section 3.2's min(textbook, fast): predict, then run the winner.
 
@@ -288,11 +326,11 @@ def combined_broadcast(
     t_text = predict_textbook_rounds(D, k)
     t_fast = predict_fast_rounds(graph.n, k, delta, lam, C)
     if t_text <= t_fast:
-        result = textbook_broadcast(graph, placement, verify=verify)
+        result = textbook_broadcast(graph, placement, verify=verify, backend=backend)
         result.algorithm = "combined/textbook"
     else:
         result = fast_broadcast(
-            graph, placement, lam=lam, C=C, seed=seed, verify=verify
+            graph, placement, lam=lam, C=C, seed=seed, verify=verify, backend=backend
         )
         result.algorithm = "combined/fast"
     return result

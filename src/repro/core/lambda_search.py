@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.core.broadcast import BroadcastResult, fast_broadcast
 from repro.core.decomposition import num_parts, random_partition
-from repro.core.tree_packing import TreePacking, build_tree_packing
+from repro.core.tree_packing import TreePacking, packing_from_bfs_results
 from repro.graphs.graph import Graph
 from repro.primitives.bfs import run_parallel_bfs
 from repro.util.errors import ValidationError
@@ -30,10 +30,15 @@ __all__ = ["LambdaSearchOutcome", "find_packing_unknown_lambda", "broadcast_unkn
 
 @dataclass
 class LambdaSearchOutcome:
-    """Trace of the exponential search (experiment E9 rows)."""
+    """Trace of the exponential search (experiment E9 rows).
+
+    ``seeds[i]`` is the partition seed used by iteration ``i`` — recorded so
+    failed iterations are auditable and reproducible individually.
+    """
 
     guesses: list[int] = field(default_factory=list)
     validation_rounds: list[int] = field(default_factory=list)
+    seeds: list[int] = field(default_factory=list)
     accepted_guess: int = 0
     packing: TreePacking | None = None
 
@@ -52,13 +57,23 @@ def find_packing_unknown_lambda(
     C: float = 2.0,
     check_factor: float = 4.0,
     root: int = 0,
+    backend: str = "simulator",
 ) -> LambdaSearchOutcome:
     """Exponential search for a valid Theorem 2 packing without knowing λ.
 
-    Each iteration's validation is a genuine parallel BFS on the simulator;
-    its certified round count is recorded. Depth acceptance threshold:
-    ``check_factor · (n ln n)/δ`` (and for tiny graphs at least n, so the
-    predicate is never vacuously unsatisfiable).
+    Each iteration's validation is a genuine parallel BFS (on the simulator,
+    or the equivalent vectorized backend); its certified round count is
+    recorded. Depth acceptance threshold: ``check_factor · (n ln n)/δ`` (and
+    for tiny graphs at least n, so the predicate is never vacuously
+    unsatisfiable).
+
+    Each iteration draws a *fresh* partition seed (``seed + 7919·iteration``,
+    recorded in :attr:`LambdaSearchOutcome.seeds` — the same decorrelation
+    stride as :func:`repro.core.tree_packing.build_packing_with_retry`, so
+    sweeps over consecutive base seeds do not share partitions): reusing one
+    seed for every guess would mean a guess that fails due to an unlucky
+    partition is never re-randomized, so the w.h.p. argument would silently
+    lean on the guess halving alone.
     """
     delta = graph.min_degree()
     if delta < 1:
@@ -69,21 +84,24 @@ def find_packing_unknown_lambda(
 
     outcome = LambdaSearchOutcome()
     guess = delta
+    iteration = 0
     while True:
         parts = num_parts(guess, graph.n, C)
-        decomp = random_partition(graph, parts, seed)
+        iter_seed = seed + 7919 * iteration
+        decomp = random_partition(graph, parts, iter_seed)
         results, rounds = run_parallel_bfs(
-            graph, decomp.masks(), roots=[root] * parts
+            graph, decomp.masks(), roots=[root] * parts, backend=backend
         )
         outcome.guesses.append(guess)
         outcome.validation_rounds.append(rounds)
+        outcome.seeds.append(iter_seed)
         ok = all(r.spans() and r.depth <= depth_bound for r in results)
         if ok:
             outcome.accepted_guess = guess
-            outcome.packing = build_tree_packing(decomp, root=root, distributed=False)
-            # Charge the packing construction as the validation BFS we just
-            # ran (same trees, same rounds) rather than double-counting.
-            outcome.packing.construction_rounds = rounds
+            # The validation BFS we just ran *is* the packing construction
+            # (same trees, same rounds): adopt its results instead of
+            # re-traversing, and charge exactly its certified cost.
+            outcome.packing = packing_from_bfs_results(graph, results, rounds)
             return outcome
         if guess == 1:
             raise ValidationError(
@@ -91,6 +109,7 @@ def find_packing_unknown_lambda(
                 "(is the graph disconnected?)"
             )
         guess = max(1, guess // 2)
+        iteration += 1
 
 
 def broadcast_unknown_lambda(
@@ -100,6 +119,7 @@ def broadcast_unknown_lambda(
     C: float = 2.0,
     check_factor: float = 4.0,
     verify: bool = True,
+    backend: str = "simulator",
 ) -> tuple[BroadcastResult, LambdaSearchOutcome]:
     """k-broadcast in O(((n+k)/λ) log n) rounds with λ unknown (§1.1 Remark).
 
@@ -107,10 +127,10 @@ def broadcast_unknown_lambda(
     in a ``lambda_search`` phase) alongside the search trace.
     """
     search = find_packing_unknown_lambda(
-        graph, seed=seed, C=C, check_factor=check_factor
+        graph, seed=seed, C=C, check_factor=check_factor, backend=backend
     )
     result = fast_broadcast(
-        graph, placement, packing=search.packing, verify=verify
+        graph, placement, packing=search.packing, verify=verify, backend=backend
     )
     # The accepted iteration's BFS *is* the packing construction; earlier
     # failed iterations are pure overhead, charged explicitly.

@@ -25,7 +25,13 @@ from repro.graphs.traversal import bfs_tree
 from repro.primitives.bfs import BFSResult, run_parallel_bfs
 from repro.util.errors import ValidationError
 
-__all__ = ["SpanningTree", "TreePacking", "build_tree_packing", "packing_from_masks"]
+__all__ = [
+    "SpanningTree",
+    "TreePacking",
+    "build_tree_packing",
+    "packing_from_bfs_results",
+    "packing_from_masks",
+]
 
 
 @dataclass
@@ -163,20 +169,33 @@ def build_tree_packing(
     decomp: Decomposition,
     root: int = 0,
     distributed: bool = True,
+    backend: str = "simulator",
 ) -> TreePacking:
     """BFS per color class → tree packing (Section 3.1).
 
+    ``backend="simulator"`` (default) honors ``distributed``:
     ``distributed=True`` runs the Lemma 2 floods concurrently on the CONGEST
     simulator (certified round count: all classes in parallel, so the cost
-    is the *max* depth, not the sum). ``distributed=False`` uses the
-    centralized BFS kernel and *charges* max-depth + 2 rounds — bit-for-bit
-    the same trees (both pick the smallest-id parent in the previous layer),
-    two orders of magnitude faster for application pipelines; the tests
-    assert the equivalence.
+    is the *max* depth, not the sum); ``distributed=False`` uses the
+    centralized BFS kernel and charges the same certified count — bit-for-bit
+    the same trees (both pick the smallest-id parent in the previous layer)
+    and the same max-depth + 1 rounds, two orders of magnitude faster for
+    application pipelines; the tests assert the equivalence.
+
+    ``backend="vectorized"`` computes the distributed semantics — identical
+    trees *and* the simulator's exact round count — with the numpy fast path
+    of :mod:`repro.engine`, ignoring ``distributed``.
     """
+    from repro.engine import validate_backend
+
     g = decomp.graph
     masks = decomp.masks()
-    if distributed:
+    if validate_backend(backend) == "vectorized":
+        results, rounds = run_parallel_bfs(
+            g, masks, roots=[root] * decomp.parts, backend="vectorized"
+        )
+        trees = [_tree_from_bfs(r) for r in results]
+    elif distributed:
         results, rounds = run_parallel_bfs(g, masks, roots=[root] * decomp.parts)
         trees = [_tree_from_bfs(r) for r in results]
     else:
@@ -190,20 +209,11 @@ def build_tree_packing(
                     "Theorem 2 failed; retry with a larger C or another seed"
                 )
             trees.append(SpanningTree(root=root, parent=parent, depth_of=dist))
-        rounds = max(t.depth for t in trees) + 2  # flood depth + child notices
+        # Charge exactly what the simulator certifies: flood depth + the one
+        # round draining the deepest layer's child notices (0 for n = 1).
+        rounds = max(t.depth for t in trees) + 1 if g.n > 1 else 0
 
-    count = np.zeros(g.m, dtype=np.int64)
-    for tree in trees:
-        for u, v in tree.edges():
-            count[g.edge_id(u, v)] += 1
-    packing = TreePacking(
-        graph=g, trees=trees, construction_rounds=rounds, edge_tree_count=count
-    )
-    if packing.congestion > 1:
-        raise ValidationError(
-            "Theorem 2 packing must be edge-disjoint", congestion=packing.congestion
-        )
-    return packing
+    return _packing_from_trees(g, trees, rounds)
 
 
 def build_packing_with_retry(
@@ -213,6 +223,7 @@ def build_packing_with_retry(
     root: int = 0,
     distributed: bool = True,
     max_tries: int = 8,
+    backend: str = "simulator",
 ) -> tuple[TreePacking, int]:
     """Theorem 2 packing with seed-retry on w.h.p. failure.
 
@@ -230,7 +241,9 @@ def build_packing_with_retry(
     for attempt in range(max_tries):
         decomp = random_partition(graph, parts, seed + 7919 * attempt)
         try:
-            packing = build_tree_packing(decomp, root=root, distributed=distributed)
+            packing = build_tree_packing(
+                decomp, root=root, distributed=distributed, backend=backend
+            )
         except ValidationError as err:
             last_error = err
             continue
@@ -243,6 +256,38 @@ def build_packing_with_retry(
     ) from last_error
 
 
+def _packing_from_trees(
+    graph: Graph,
+    trees: list[SpanningTree],
+    rounds: int,
+    enforce_disjoint: bool = True,
+) -> TreePacking:
+    """Shared tail: per-edge tree counts + the Theorem 2 disjointness gate."""
+    count = np.zeros(graph.m, dtype=np.int64)
+    for tree in trees:
+        vs = np.nonzero(np.arange(graph.n) != tree.root)[0]
+        np.add.at(count, graph.edge_ids_for_pairs(tree.parent[vs], vs), 1)
+    packing = TreePacking(
+        graph=graph, trees=trees, construction_rounds=rounds, edge_tree_count=count
+    )
+    if enforce_disjoint and packing.congestion > 1:
+        raise ValidationError(
+            "Theorem 2 packing must be edge-disjoint", congestion=packing.congestion
+        )
+    return packing
+
+
+def packing_from_bfs_results(
+    graph: Graph, results: list[BFSResult], rounds: int
+) -> TreePacking:
+    """Packing from already-computed parallel-BFS results (no re-traversal).
+
+    The unknown-λ search's validation BFS *is* the packing construction, so
+    the trees in hand are adopted directly instead of being recomputed.
+    """
+    return _packing_from_trees(graph, [_tree_from_bfs(r) for r in results], rounds)
+
+
 def packing_from_masks(
     graph: Graph, masks: list[np.ndarray], root: int = 0, rounds: int = 0
 ) -> TreePacking:
@@ -252,16 +297,10 @@ def packing_from_masks(
     with congestion O(log n) rather than being disjoint.
     """
     trees = []
-    count = np.zeros(graph.m, dtype=np.int64)
     for mask in masks:
         sub, _ = graph.edge_subgraph_with_map(mask)
         parent, dist = bfs_tree(sub, root)
         if np.any(dist < 0):
             raise ValidationError("mask does not induce a spanning subgraph")
-        tree = SpanningTree(root=root, parent=parent, depth_of=dist)
-        trees.append(tree)
-        for u, v in tree.edges():
-            count[graph.edge_id(u, v)] += 1
-    return TreePacking(
-        graph=graph, trees=trees, construction_rounds=rounds, edge_tree_count=count
-    )
+        trees.append(SpanningTree(root=root, parent=parent, depth_of=dist))
+    return _packing_from_trees(graph, trees, rounds, enforce_disjoint=False)

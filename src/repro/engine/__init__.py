@@ -1,0 +1,87 @@
+"""Vectorized fast-path backend for the simulator's hot protocols.
+
+The library has **two backends** for every protocol whose output and round
+count are deterministic functions of the input:
+
+* ``backend="simulator"`` (the default everywhere) runs the actual per-node
+  :class:`~repro.congest.program.NodeProgram` state machines on the CONGEST
+  simulator. Round counts are *certified by execution*: every message is
+  transported, bit-priced, and bandwidth-checked, so a completed run is a
+  genuine CONGEST execution. This is the ground truth — and, per the
+  simulator's own profiling notes, >80% of wall time is spent inside the
+  per-node Python programs, which caps experiments at toy sizes.
+
+* ``backend="vectorized"`` (this package) computes the *same* results with
+  whole-frontier numpy sweeps over the :class:`~repro.graphs.graph.Graph`
+  CSR arrays — the idiom used by DGL's ``ImmutableGraphIndex``: keep the
+  graph in ``indptr``/``indices`` form and drive traversals with array ops
+  instead of per-node message objects. No messages exist at runtime, so the
+  round counts are *reconstructed* from the protocols' deterministic
+  structure:
+
+  - **BFS flood (Lemma 2)** — per-channel hop distances via frontier
+    sweeps; parents take the smallest-id neighbor in the previous layer
+    (ports are sorted by neighbor id, so this is exactly the simulator's
+    first-announcing-port tie-break); rounds = max channel depth + 1 (the
+    final round delivers the deepest layer's child-notifications).
+  - **Leader election (min-ID flood)** — the minimum id (node 0) wins;
+    rounds = ecc(0) + 1 (the farthest node's last improvement floods out
+    one more round).
+  - **Item numbering (Lemma 3)** — convergecast + range split computed
+    layer-by-layer; rounds = 2 · depth(T).
+  - **Pipelined tree broadcast (Lemma 1 / Theorem 1 step 4)** — the round
+    count depends only on per-node queue *lengths*, never on message
+    identity, so a vectorized per-round queue-length recurrence over all
+    nodes and channels reproduces the simulator's round count exactly;
+    congestion and message/bit totals follow in closed form (each message
+    crosses each tree edge once downward, and its root-path once upward).
+
+**Certification relationship.** The vectorized backend inherits the
+simulator's certification *by testing, not by construction*: the
+equivalence harness (:mod:`repro.engine.verify`, exercised by
+``tests/test_engine_equivalence.py``) cross-checks parent arrays, dists,
+round counts, congestion, and message/bit totals against the simulator on
+random graphs, edge masks, and multi-channel configurations — results must
+match bit-for-bit. Anything the fast path cannot reproduce exactly must
+stay on the simulator.
+
+Callers opt in via the ``backend=`` parameter threaded through
+:func:`repro.primitives.bfs.run_bfs`,
+:func:`repro.primitives.bfs.run_parallel_bfs`,
+:func:`repro.core.tree_packing.build_tree_packing`,
+:func:`repro.core.lambda_search.find_packing_unknown_lambda`, and the
+broadcast drivers in :mod:`repro.core.broadcast`; the CLI exposes it as
+``--backend``.
+"""
+
+from __future__ import annotations
+
+from repro.engine.fastpath import (
+    vectorized_bfs,
+    vectorized_elect_leader,
+    vectorized_numbering,
+    vectorized_parallel_bfs,
+    vectorized_tree_broadcast,
+)
+from repro.util.errors import ValidationError
+
+__all__ = [
+    "BACKENDS",
+    "validate_backend",
+    "vectorized_bfs",
+    "vectorized_parallel_bfs",
+    "vectorized_elect_leader",
+    "vectorized_numbering",
+    "vectorized_tree_broadcast",
+]
+
+BACKENDS = ("simulator", "vectorized")
+
+
+def validate_backend(backend: str) -> str:
+    """Check a ``backend=`` argument, returning it unchanged if valid."""
+    if backend not in BACKENDS:
+        raise ValidationError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend

@@ -1,0 +1,458 @@
+"""Whole-frontier numpy kernels replicating the simulator protocols exactly.
+
+Every function here is a drop-in for a simulator-driven primitive and must
+return *bit-identical* results — same parents, same dists, same certified
+round counts, same metrics — on every input. The equivalence contract is
+enforced by :mod:`repro.engine.verify` and ``tests/test_engine_equivalence.py``;
+see the package docstring for the round-count derivations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.congest.metrics import Metrics
+from repro.graphs.graph import Graph
+from repro.primitives.bfs import BFSResult
+from repro.primitives.pipeline import TreeBroadcastOutcome
+from repro.util.bits import bits_for_int, bits_for_int_array, message_bit_budget
+from repro.util.errors import BandwidthExceeded, ValidationError
+
+__all__ = [
+    "vectorized_bfs",
+    "vectorized_parallel_bfs",
+    "vectorized_elect_leader",
+    "vectorized_numbering",
+    "vectorized_tree_broadcast",
+]
+
+
+# --------------------------------------------------------------------------- #
+# CSR helpers
+# --------------------------------------------------------------------------- #
+
+def _channel_adjacency(
+    graph: Graph, edge_mask: np.ndarray | None
+) -> tuple[np.ndarray, np.ndarray]:
+    """CSR (indptr, indices) of the subgraph keeping only masked edges.
+
+    Neighbor order inside each block is preserved (sorted by id), so the
+    smallest-port tie-break of the simulator survives the filtering.
+    """
+    if edge_mask is None:
+        return graph._indptr, graph._indices
+    mask = np.asarray(edge_mask, dtype=bool)
+    allowed = mask[graph._adj_edge_id]
+    indices = graph._indices[allowed]
+    rows = np.repeat(np.arange(graph.n), np.diff(graph._indptr))
+    counts = np.bincount(rows[allowed], minlength=graph.n)
+    indptr = np.zeros(graph.n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, indices
+
+
+def _frontier_sweep(
+    n: int, indptr: np.ndarray, indices: np.ndarray, root: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """BFS (parent, dist) with the smallest-previous-layer-neighbor parent.
+
+    One vectorized gather per layer: all frontier adjacency blocks are
+    expanded at once, then a lexsort picks, per newly reached node, the
+    smallest announcing neighbor — exactly the simulator's first-port
+    adoption, since ports are numbered in neighbor-id order.
+    """
+    dist = np.full(n, -1, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64)
+    dist[root] = 0
+    parent[root] = root
+    frontier = np.array([root], dtype=np.int64)
+    d = 0
+    while frontier.size:
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        base = np.repeat(starts, counts)
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        dst = indices[base + offsets]
+        src = np.repeat(frontier, counts)
+        fresh = dist[dst] < 0
+        if not fresh.any():
+            break
+        dst = dst[fresh]
+        src = src[fresh]
+        order = np.lexsort((src, dst))
+        dst = dst[order]
+        src = src[order]
+        first = np.ones(dst.size, dtype=bool)
+        first[1:] = dst[1:] != dst[:-1]
+        d += 1
+        frontier = dst[first]
+        dist[frontier] = d
+        parent[frontier] = src[first]
+    return parent, dist
+
+
+def _children_lists(parent: np.ndarray) -> list[list[int]]:
+    """Per-node sorted child lists from a parent array (canonical order)."""
+    n = len(parent)
+    children: list[list[int]] = [[] for _ in range(n)]
+    ids = np.arange(n)
+    kids = np.nonzero((parent >= 0) & (parent != ids))[0]
+    order = np.argsort(parent[kids], kind="stable")  # kids already ascending
+    for p, v in zip(parent[kids][order].tolist(), kids[order].tolist()):
+        children[p].append(v)
+    return children
+
+
+# --------------------------------------------------------------------------- #
+# Lemma 2 — BFS flood
+# --------------------------------------------------------------------------- #
+
+def vectorized_bfs(
+    graph: Graph, root: int, edge_mask: np.ndarray | None = None
+) -> BFSResult:
+    """Fast-path :func:`repro.primitives.bfs.run_bfs` (single channel).
+
+    Rounds = depth + 1: the deepest layer adopts in round ``depth`` and its
+    child-notifications drain in one further round — or 0 when the root has
+    no usable port and the flood never starts.
+    """
+    if not (0 <= root < graph.n):
+        raise ValidationError(f"root {root} out of range")
+    indptr, indices = _channel_adjacency(graph, edge_mask)
+    parent, dist = _frontier_sweep(graph.n, indptr, indices, root)
+    depth = int(dist.max())
+    rounds = depth + 1 if indptr[root + 1] > indptr[root] else 0
+    return BFSResult(
+        root=root,
+        parent=parent,
+        dist=dist,
+        children=_children_lists(parent),
+        rounds=rounds,
+    )
+
+
+def vectorized_parallel_bfs(
+    graph: Graph,
+    edge_masks: list[np.ndarray],
+    roots: list[int] | None = None,
+) -> tuple[list[BFSResult], int]:
+    """Fast-path :func:`repro.primitives.bfs.run_parallel_bfs`.
+
+    All channels share one clock, so the joint execution costs the *max*
+    channel depth + 1 — the Section 3.1 claim that edge-disjoint floods run
+    concurrently for free.
+    """
+    masks = [np.asarray(m, dtype=bool) for m in edge_masks]
+    if masks:
+        stack = np.stack(masks)
+        if stack.sum(axis=0).max() > 1:
+            raise ValidationError("edge masks must be pairwise disjoint")
+    if roots is None:
+        roots = [0] * len(masks)
+    if len(roots) != len(masks):
+        raise ValidationError("need one root per channel")
+
+    results: list[BFSResult] = []
+    rounds = 0
+    for mask, root in zip(masks, roots):
+        if not (0 <= root < graph.n):
+            raise ValidationError(f"root {root} out of range")
+        indptr, indices = _channel_adjacency(graph, mask)
+        parent, dist = _frontier_sweep(graph.n, indptr, indices, root)
+        if indptr[root + 1] > indptr[root]:
+            rounds = max(rounds, int(dist.max()) + 1)
+        results.append(
+            BFSResult(
+                root=root,
+                parent=parent,
+                dist=dist,
+                children=_children_lists(parent),
+                rounds=0,  # patched below: the joint clock is shared
+            )
+        )
+    for r in results:
+        r.rounds = rounds
+    return results, rounds
+
+
+# --------------------------------------------------------------------------- #
+# Leader election — min-ID flood
+# --------------------------------------------------------------------------- #
+
+def vectorized_elect_leader(graph: Graph) -> tuple[int, int]:
+    """Fast-path :func:`repro.primitives.leader.elect_leader`.
+
+    The global minimum id (node 0) always wins; its value reaches a node at
+    distance d in round d, triggering that node's last improvement-and-send,
+    so the final delivery lands in round ecc(0) + 1.
+    """
+    from repro.graphs.traversal import bfs_distances, connected_components
+
+    dist = bfs_distances(graph, 0)
+    if np.any(dist < 0):
+        leaders = sorted(set(connected_components(graph).tolist()))
+        raise RuntimeError(f"no unanimous leader: {leaders}")
+    rounds = int(dist.max()) + 1 if graph.n > 1 else 0
+    return 0, rounds
+
+
+# --------------------------------------------------------------------------- #
+# Lemma 3 — item numbering over a BFS tree
+# --------------------------------------------------------------------------- #
+
+def _layer_slices(dist: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Nodes grouped by BFS layer: (order, bounds) with layer d at
+    ``order[bounds[d]:bounds[d+1]]``, each layer sorted by node id."""
+    order = np.argsort(dist, kind="stable")
+    maxd = int(dist.max())
+    bounds = np.searchsorted(dist[order], np.arange(maxd + 2))
+    return order, bounds
+
+
+def _subtree_sums(parent: np.ndarray, dist: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Per-node sum of ``values`` over the node's subtree (layer-wise
+    convergecast: deepest layer first, each layer folded into its parents)."""
+    acc = np.asarray(values, dtype=np.int64).copy()
+    order, bounds = _layer_slices(dist)
+    for d in range(int(dist.max()), 0, -1):
+        layer = order[bounds[d] : bounds[d + 1]]
+        np.add.at(acc, parent[layer], acc[layer])
+    return acc
+
+
+def vectorized_numbering(
+    graph: Graph, tree: BFSResult, counts: np.ndarray
+) -> tuple[np.ndarray, int]:
+    """Fast-path :func:`repro.primitives.numbering.assign_item_numbers`.
+
+    Up phase: a node fires its subtree count at round height(v), so the root
+    splits at round depth(T); the RANGE wave then takes depth(T) more rounds
+    to reach the deepest leaves — 2·depth(T) rounds total. Ranges are handed
+    to children in increasing child id, matching the simulator's child-port
+    order (ports are sorted by neighbor id).
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.shape != (graph.n,):
+        raise ValidationError("need one item count per node")
+    if np.any(counts < 0):
+        raise ValidationError("item counts must be non-negative")
+    if not tree.spans():
+        raise ValidationError("numbering requires a spanning tree")
+
+    n = graph.n
+    parent = tree.parent
+    dist = tree.dist
+    order, bounds = _layer_slices(dist)
+    maxd = int(dist.max())
+
+    subtree = _subtree_sums(parent, dist, counts)
+
+    starts = np.zeros(n, dtype=np.int64)
+    starts[tree.root] = 1
+    for d in range(1, maxd + 1):
+        vs = order[bounds[d] : bounds[d + 1]]  # ascending ids within the layer
+        sibling = np.argsort(parent[vs], kind="stable")
+        vs = vs[sibling]
+        ps = parent[vs]
+        cum = np.cumsum(subtree[vs]) - subtree[vs]
+        head = np.ones(vs.size, dtype=bool)
+        head[1:] = ps[1:] != ps[:-1]
+        group_base = cum[head][np.cumsum(head) - 1]
+        starts[vs] = starts[ps] + counts[ps] + (cum - group_base)
+
+    # Certify the Lemma 3 guarantee (ids are exactly the partition 1..X),
+    # mirroring the simulator driver's post-check. Zero-count nodes hold an
+    # empty range and may share a cursor position, so only positive ranges
+    # participate.
+    holders = np.nonzero(counts > 0)[0]
+    by_start = holders[np.argsort(starts[holders], kind="stable")]
+    expected = np.cumsum(counts[by_start]) - counts[by_start] + 1
+    if not np.array_equal(starts[by_start], expected):
+        raise ValidationError("identifier ranges are not a partition of [X]")
+    return starts, 2 * maxd
+
+
+# --------------------------------------------------------------------------- #
+# Lemma 1 / Theorem 1 step 4 — pipelined tree broadcast
+# --------------------------------------------------------------------------- #
+
+def vectorized_tree_broadcast(
+    graph: Graph,
+    trees: dict[int, BFSResult],
+    messages: dict[int, dict[int, list[int]]],
+    verify: bool = True,
+    bandwidth_factor: int = 8,
+) -> TreeBroadcastOutcome:
+    """Fast-path :func:`repro.primitives.pipeline.run_tree_broadcast`.
+
+    The pipeline's round count depends only on per-node queue *lengths*
+    (message identity never influences when a queue drains), so a per-round
+    recurrence over (channel, node) length arrays reproduces the simulator's
+    count exactly: each round, every nonempty up-queue sends one message to
+    its parent and every nonempty down-queue pops one (forwarded to children,
+    if any); arrivals land one round after sends; the run ends one round
+    after the last send or busy flag.
+
+    Metrics are closed-form: each message crosses every tree edge once on the
+    downcast and its origin-to-root path once on the upcast, so the edge
+    ``(parent(v), v)`` in channel c carries ``k_c + (messages originating in
+    subtree(v))`` messages in total.
+
+    ``verify`` is accepted for signature parity; delivery holds by
+    construction once every tree spans (checked below), which the
+    equivalence suite cross-validates against the simulator's counters.
+    """
+    n = graph.n
+    cids = sorted(trees)
+    per_channel_k: dict[int, int] = {}
+    for cid, placement in messages.items():
+        if cid not in trees:
+            raise ValidationError(f"messages given for unknown channel {cid}")
+        ids = [m for msgs in placement.values() for m in msgs]
+        if len(set(ids)) != len(ids):
+            raise ValidationError(f"duplicate message ids on channel {cid}")
+        per_channel_k[cid] = len(ids)
+    for cid in cids:
+        per_channel_k.setdefault(cid, 0)
+        if not trees[cid].spans():
+            raise ValidationError(f"channel {cid} tree does not span the graph")
+
+    metrics = Metrics(m=graph.m)
+    if not cids:
+        return TreeBroadcastOutcome(
+            rounds=0, metrics=metrics, k_total=0, per_channel_k=per_channel_k
+        )
+
+    C = len(cids)
+    parents = np.empty((C, n), dtype=np.int64)
+    dists = np.empty((C, n), dtype=np.int64)
+    own = np.zeros((C, n), dtype=np.int64)
+    nonroot = np.empty((C, n), dtype=bool)
+    for ci, cid in enumerate(cids):
+        tree = trees[cid]
+        parents[ci] = tree.parent
+        dists[ci] = tree.dist
+        nonroot[ci] = tree.parent != np.arange(n)
+        for v, msgs in messages.get(cid, {}).items():
+            own[ci, v] = len(msgs)
+
+    # The simulator would raise BandwidthExceeded on the first double-send
+    # over a shared edge; the fast path rejects overlap up front.
+    if n > 1 and C > 1:
+        tree_eids = [
+            graph.edge_ids_for_pairs(
+                parents[ci][nonroot[ci]], np.nonzero(nonroot[ci])[0]
+            )
+            for ci in range(C)
+        ]
+        use = np.zeros(graph.m, dtype=np.int64)
+        for eids in tree_eids:
+            use[eids] += 1
+        if use.max() > 1:
+            raise ValidationError(
+                "trees must be edge-disjoint (the simulator would refuse the "
+                "double-send)"
+            )
+
+    # Per-channel message-id arrays, one pass each: they feed both the
+    # bandwidth gate here and the closed-form bit totals below. Every id is
+    # eventually sent (the downcast reaches every tree edge), priced as the
+    # (kind, channel, id) tuple the simulator transports.
+    budget = message_bit_budget(n, bandwidth_factor)
+    chan_origins: list[np.ndarray] = []
+    chan_bits: list[np.ndarray] = []
+    for cid in cids:
+        placement = messages.get(cid, {})
+        k_c = per_channel_k[cid]
+        if not k_c:
+            chan_origins.append(np.empty(0, dtype=np.int64))
+            chan_bits.append(np.empty(0, dtype=np.int64))
+            continue
+        node_ids = np.fromiter(placement.keys(), dtype=np.int64, count=len(placement))
+        lens = np.fromiter(
+            (len(msgs) for msgs in placement.values()),
+            dtype=np.int64,
+            count=len(placement),
+        )
+        ids_list = [m for msgs in placement.values() for m in msgs]
+        try:
+            bits = 2 + bits_for_int(cid) + bits_for_int_array(
+                np.fromiter(ids_list, dtype=np.int64, count=k_c)
+            )
+        except OverflowError:  # ids beyond int64: price individually
+            bits = np.array(
+                [2 + bits_for_int(cid) + bits_for_int(m) for m in ids_list],
+                dtype=np.int64,
+            )
+        if n > 1 and int(bits.max()) > budget:
+            worst = ids_list[int(np.argmax(bits))]
+            raise BandwidthExceeded(
+                f"payload of {int(bits.max())} bits exceeds budget {budget} "
+                f"(payload={(1, cid, worst)!r})"
+            )
+        chan_origins.append(np.repeat(node_ids, lens))
+        chan_bits.append(bits)
+
+    # ---- exact round count: queue-length recurrence ---------------------- #
+    has_children = np.zeros((C, n), dtype=bool)
+    for ci in range(C):
+        kids = parents[ci][nonroot[ci]]
+        if kids.size:
+            has_children[ci][np.unique(kids)] = True
+
+    up = np.where(nonroot, own, 0)
+    down = np.where(nonroot, 0, own)
+
+    flat_parents = (parents + (np.arange(C) * n)[:, None]).ravel()
+
+    def pump() -> tuple[np.ndarray, np.ndarray, bool, bool]:
+        sent_up = (up > 0) & nonroot
+        sent_down = down > 0
+        up[sent_up] -= 1
+        down[sent_down] -= 1
+        busy = bool((up > 0).any() or (down > 0).any())
+        in_flight = bool(sent_up.any() or (sent_down & has_children).any())
+        return sent_up, sent_down, busy, in_flight
+
+    sent_up, sent_down, busy, in_flight = pump()  # round 0 (on_start)
+    rounds = 0
+    while in_flight or busy:
+        rounds += 1
+        up_arrivals = np.bincount(
+            flat_parents[sent_up.ravel()], minlength=C * n
+        ).reshape(C, n)
+        down_arrivals = np.take_along_axis(sent_down, parents, axis=1) & nonroot
+        up += np.where(nonroot, up_arrivals, 0)
+        down += np.where(nonroot, 0, up_arrivals)  # root bounces UP into DOWN
+        down += down_arrivals
+        sent_up, sent_down, busy, in_flight = pump()
+
+    # ---- exact metrics: closed-form congestion and totals ---------------- #
+    total_bits = 0
+    for ci, cid in enumerate(cids):
+        k_c = per_channel_k[cid]
+        vs = np.nonzero(nonroot[ci])[0]
+        if vs.size == 0:
+            continue
+        sub = _subtree_sums(parents[ci], dists[ci], own[ci])
+        eids = graph.edge_ids_for_pairs(parents[ci][vs], vs)
+        np.add.at(metrics.edge_messages, eids, k_c + sub[vs])
+        # bits: each id crosses (n-1) tree edges down + its origin depth up
+        if chan_bits[ci].size:
+            traversals = dists[ci][chan_origins[ci]] + (n - 1)
+            total_bits += int((chan_bits[ci] * traversals).sum())
+    metrics.rounds = rounds
+    metrics.total_messages = int(metrics.edge_messages.sum())
+    metrics.total_bits = total_bits
+
+    return TreeBroadcastOutcome(
+        rounds=rounds,
+        metrics=metrics,
+        k_total=sum(per_channel_k.values()),
+        per_channel_k=per_channel_k,
+    )

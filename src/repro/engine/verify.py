@@ -1,0 +1,276 @@
+"""Equivalence harness: the vectorized backend vs the simulator, bit for bit.
+
+The fast path inherits the simulator's certification *by testing*: every
+kernel in :mod:`repro.engine.fastpath` is cross-checked here against the
+corresponding simulator-driven protocol on randomized inputs — parent
+arrays, dists, round counts, congestion, and message/bit totals must match
+exactly. ``tests/test_engine_equivalence.py`` drives these checks in CI;
+``python -m repro.engine.verify`` runs a standalone sweep.
+
+Every check returns a list of human-readable mismatch strings (empty =
+equivalent), so a failure names the exact field that diverged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "random_connected_graph",
+    "random_edge_masks",
+    "check_bfs",
+    "check_parallel_bfs",
+    "check_leader",
+    "check_numbering",
+    "check_tree_broadcast",
+    "check_broadcast_pipeline",
+    "EquivalenceReport",
+    "verify_equivalence",
+]
+
+
+def random_connected_graph(n: int, extra_edges: int, seed) -> Graph:
+    """Random spanning tree plus ``extra_edges`` random non-tree edges."""
+    rng = ensure_rng(seed)
+    edges: set[tuple[int, int]] = set()
+    for v in range(1, n):
+        u = int(rng.integers(v))
+        edges.add((u, v))
+    tries = 0
+    while len(edges) < (n - 1) + extra_edges and tries < 20 * (extra_edges + 1):
+        tries += 1
+        u, v = int(rng.integers(n)), int(rng.integers(n))
+        if u == v:
+            continue
+        edges.add((min(u, v), max(u, v)))
+    return Graph(n, sorted(edges))
+
+
+def random_edge_masks(graph: Graph, parts: int, seed) -> list[np.ndarray]:
+    """Disjoint random edge masks (not necessarily covering every edge)."""
+    rng = ensure_rng(seed)
+    colors = rng.integers(parts + 1, size=graph.m)  # color `parts` = unused
+    return [colors == i for i in range(parts)]
+
+
+def _diff_bfs(a, b, label: str) -> list[str]:
+    out = []
+    if not np.array_equal(a.parent, b.parent):
+        out.append(f"{label}: parent arrays differ")
+    if not np.array_equal(a.dist, b.dist):
+        out.append(f"{label}: dist arrays differ")
+    if a.rounds != b.rounds:
+        out.append(f"{label}: rounds {a.rounds} != {b.rounds}")
+    if a.children != b.children:
+        out.append(f"{label}: children lists differ")
+    return out
+
+
+def check_bfs(graph: Graph, root: int, edge_mask=None) -> list[str]:
+    """run_bfs: simulator vs vectorized."""
+    from repro.primitives.bfs import run_bfs
+
+    sim = run_bfs(graph, root, edge_mask=edge_mask, backend="simulator")
+    vec = run_bfs(graph, root, edge_mask=edge_mask, backend="vectorized")
+    return _diff_bfs(sim, vec, "bfs")
+
+
+def check_parallel_bfs(graph: Graph, masks, roots=None) -> list[str]:
+    """run_parallel_bfs: simulator vs vectorized (shared round clock)."""
+    from repro.primitives.bfs import run_parallel_bfs
+
+    sim, sim_rounds = run_parallel_bfs(graph, masks, roots=roots, backend="simulator")
+    vec, vec_rounds = run_parallel_bfs(graph, masks, roots=roots, backend="vectorized")
+    out = []
+    if sim_rounds != vec_rounds:
+        out.append(f"parallel-bfs: rounds {sim_rounds} != {vec_rounds}")
+    for c, (a, b) in enumerate(zip(sim, vec)):
+        out.extend(_diff_bfs(a, b, f"parallel-bfs[channel {c}]"))
+    return out
+
+
+def check_leader(graph: Graph) -> list[str]:
+    from repro.engine.fastpath import vectorized_elect_leader
+    from repro.primitives.leader import elect_leader
+
+    sim = elect_leader(graph)
+    vec = vectorized_elect_leader(graph)
+    if sim != vec:
+        return [f"leader: simulator {sim} != vectorized {vec}"]
+    return []
+
+
+def check_numbering(graph: Graph, counts: np.ndarray) -> list[str]:
+    """Lemma 3 numbering over the same BFS tree, both backends."""
+    from repro.engine.fastpath import vectorized_numbering
+    from repro.primitives.bfs import run_bfs
+    from repro.primitives.numbering import assign_item_numbers
+
+    tree = run_bfs(graph, 0, backend="simulator")
+    sim_starts, sim_rounds = assign_item_numbers(graph, tree, counts)
+    vec_starts, vec_rounds = vectorized_numbering(graph, tree, counts)
+    out = []
+    if sim_rounds != vec_rounds:
+        out.append(f"numbering: rounds {sim_rounds} != {vec_rounds}")
+    if not np.array_equal(sim_starts, vec_starts):
+        out.append("numbering: starts differ")
+    return out
+
+
+def check_tree_broadcast(
+    graph: Graph, masks, k: int, seed, roots=None
+) -> list[str]:
+    """Lemma 1 pipeline over edge-disjoint trees: exact rounds and metrics.
+
+    Channels whose mask does not induce a spanning subgraph are dropped
+    (both backends require spanning trees).
+    """
+    from repro.engine.fastpath import vectorized_tree_broadcast
+    from repro.primitives.bfs import run_parallel_bfs
+    from repro.primitives.pipeline import run_tree_broadcast
+
+    results, _ = run_parallel_bfs(graph, masks, roots=roots, backend="vectorized")
+    trees = {c: r for c, r in enumerate(results) if r.spans()}
+    if not trees:
+        return []
+    rng = ensure_rng(seed)
+    cids = sorted(trees)
+    messages: dict[int, dict[int, list[int]]] = {c: {} for c in cids}
+    for j in range(1, k + 1):
+        c = cids[int(rng.integers(len(cids)))]
+        v = int(rng.integers(graph.n))
+        messages[c].setdefault(v, []).append(j)
+
+    sim = run_tree_broadcast(graph, trees, messages)
+    vec = vectorized_tree_broadcast(graph, trees, messages)
+    out = []
+    if sim.rounds != vec.rounds:
+        out.append(f"pipeline: rounds {sim.rounds} != {vec.rounds}")
+    if sim.max_congestion != vec.max_congestion:
+        out.append(
+            f"pipeline: congestion {sim.max_congestion} != {vec.max_congestion}"
+        )
+    if not np.array_equal(sim.metrics.edge_messages, vec.metrics.edge_messages):
+        out.append("pipeline: per-edge message counts differ")
+    if sim.metrics.total_messages != vec.metrics.total_messages:
+        out.append(
+            f"pipeline: total_messages {sim.metrics.total_messages} != "
+            f"{vec.metrics.total_messages}"
+        )
+    if sim.metrics.total_bits != vec.metrics.total_bits:
+        out.append(
+            f"pipeline: total_bits {sim.metrics.total_bits} != "
+            f"{vec.metrics.total_bits}"
+        )
+    if sim.per_channel_k != vec.per_channel_k:
+        out.append("pipeline: per-channel k differ")
+    return out
+
+
+def check_broadcast_pipeline(graph: Graph, k: int, seed, lam: int | None = None) -> list[str]:
+    """End-to-end textbook + fast broadcast: full phase ledgers must agree."""
+    from repro.core.broadcast import (
+        fast_broadcast,
+        textbook_broadcast,
+        uniform_random_placement,
+    )
+    from repro.graphs.connectivity import edge_connectivity
+    from repro.util.errors import ValidationError
+
+    placement = uniform_random_placement(graph.n, k, seed=seed)
+    out = []
+    sim = textbook_broadcast(graph, placement, backend="simulator")
+    vec = textbook_broadcast(graph, placement, backend="vectorized")
+    if sim.phases != vec.phases:
+        out.append(f"textbook: phases {sim.phases} != {vec.phases}")
+    if sim.max_congestion != vec.max_congestion:
+        out.append("textbook: congestion differs")
+
+    lam = edge_connectivity(graph) if lam is None else lam
+
+    def attempt(backend):
+        # The w.h.p. event of Theorem 2 may legitimately fail on tiny random
+        # graphs; what matters is that both backends fail identically.
+        try:
+            return fast_broadcast(
+                graph, placement, lam=lam, seed=seed, backend=backend
+            ), None
+        except ValidationError as err:
+            return None, str(err)
+
+    fsim, esim = attempt("simulator")
+    fvec, evec = attempt("vectorized")
+    if (fsim is None) != (fvec is None):
+        out.append(f"fast: backends disagree on failure (sim={esim!r}, vec={evec!r})")
+    elif fsim is None:
+        if esim != evec:
+            out.append(f"fast: failure messages differ (sim={esim!r}, vec={evec!r})")
+    else:
+        if fsim.phases != fvec.phases:
+            out.append(f"fast: phases {fsim.phases} != {fvec.phases}")
+        if fsim.max_congestion != fvec.max_congestion:
+            out.append("fast: congestion differs")
+        if fsim.packing_max_depth != fvec.packing_max_depth:
+            out.append("fast: packing depth differs")
+    return out
+
+
+@dataclass
+class EquivalenceReport:
+    """Outcome of one randomized equivalence sweep."""
+
+    trials: int = 0
+    checks: int = 0
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def verify_equivalence(
+    trials: int = 10, seed: int = 0, max_n: int = 24
+) -> EquivalenceReport:
+    """Randomized sweep of all checks; returns an :class:`EquivalenceReport`."""
+    rng = ensure_rng(seed)
+    report = EquivalenceReport()
+    for t in range(trials):
+        n = int(rng.integers(2, max_n + 1))
+        extra = int(rng.integers(0, max(1, n)))
+        g = random_connected_graph(n, extra, seed=1000 * seed + t)
+        root = int(rng.integers(n))
+        parts = int(rng.integers(1, 4))
+        masks = random_edge_masks(g, parts, seed=2000 * seed + t)
+        k = int(rng.integers(0, 3 * n))
+        for mismatches in (
+            check_bfs(g, root),
+            check_bfs(g, root, edge_mask=masks[0]),
+            check_parallel_bfs(g, masks, roots=[root] * parts),
+            check_leader(g),
+            check_numbering(g, rng.integers(0, 4, size=g.n)),
+            check_tree_broadcast(g, masks, k, seed=3000 * seed + t, roots=[root] * parts),
+        ):
+            report.checks += 1
+            report.mismatches.extend(f"[trial {t}, n={n}] {m}" for m in mismatches)
+        report.trials += 1
+    return report
+
+
+def main() -> int:  # pragma: no cover - thin CLI wrapper
+    report = verify_equivalence(trials=25, seed=7, max_n=32)
+    print(f"trials={report.trials} checks={report.checks}")
+    for m in report.mismatches:
+        print(f"MISMATCH {m}")
+    print("equivalent" if report.ok else f"{len(report.mismatches)} mismatches")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

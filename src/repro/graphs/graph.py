@@ -54,6 +54,7 @@ class Graph:
         "_indptr",
         "_indices",
         "_adj_edge_id",
+        "_arc_keys",
     )
 
     def __init__(
@@ -109,6 +110,7 @@ class Graph:
         indptr = np.zeros(self.n + 1, dtype=np.int64)
         np.cumsum(deg, out=indptr[1:])
         self._indptr = indptr
+        self._arc_keys = None  # lazy: sorted (u·n + v) keys of directed arcs
 
     # ------------------------------------------------------------------ #
     # basic queries
@@ -159,6 +161,33 @@ class Graph:
         if i >= len(nbrs) or nbrs[i] != v:
             raise KeyError(f"no edge {{{u}, {v}}}")
         return int(self.incident_edge_ids(u)[i])
+
+    def edge_ids_for_pairs(self, us, vs) -> np.ndarray:
+        """Vectorized :meth:`edge_id` over aligned endpoint arrays.
+
+        The CSR layout is one lexsort of the 2m directed arcs, so the keys
+        ``u·n + v`` are already sorted and every lookup is one searchsorted
+        over them. Raises ``KeyError`` if any pair is not an edge.
+        """
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        if us.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if self.m == 0:
+            raise KeyError(f"no edge {{{int(us[0])}, {int(vs[0])}}}")
+        if us.min() < 0 or vs.min() < 0 or us.max() >= self.n or vs.max() >= self.n:
+            raise KeyError("edge endpoint out of range")
+        if self._arc_keys is None:
+            rows = np.repeat(np.arange(self.n), np.diff(self._indptr))
+            self._arc_keys = rows * self.n + self._indices
+        keys = us * self.n + vs
+        pos = np.searchsorted(self._arc_keys, keys)
+        pos_clipped = np.minimum(pos, self._arc_keys.size - 1)
+        missing = (pos >= self._arc_keys.size) | (self._arc_keys[pos_clipped] != keys)
+        if np.any(missing):
+            i = int(np.nonzero(missing)[0][0])
+            raise KeyError(f"no edge {{{int(us[i])}, {int(vs[i])}}}")
+        return self._adj_edge_id[pos]
 
     def edges(self) -> Iterator[tuple[int, int]]:
         """Iterate undirected edges as ``(u, v)`` with ``u < v``."""

@@ -15,6 +15,11 @@ simulator verifies this by construction (a double-send would raise).
 
 Round complexity: depth + O(1) per channel, all channels concurrently — the
 ``O((n log n)/δ)`` tree-packing construction cost quoted in Section 3.1.
+
+**Backends.** ``backend="simulator"`` (default) runs the flood on the
+CONGEST simulator; ``backend="vectorized"`` computes the identical result —
+same parents, dists, children, and certified round count — with numpy
+frontier sweeps (see :mod:`repro.engine`), two orders of magnitude faster.
 """
 
 from __future__ import annotations
@@ -173,26 +178,41 @@ def _collect_results(
                 parent[v] = v if pport is None else network.neighbor(v, pport)
             for p in prog.child_ports.get(channel, []):
                 children[v].append(network.neighbor(v, p))
+            # Canonical child order (ascending id): CHILD notices all land in
+            # the same round, so their relative order is an artifact of the
+            # delivery loop, not of the protocol; sorting makes the two
+            # backends bit-identical.
+            children[v].sort()
         results[channel] = BFSResult(
             root=root, parent=parent, dist=dist, children=children, rounds=rounds
         )
     return results
 
 
-def run_bfs(graph: Graph, root: int, edge_mask: np.ndarray | None = None) -> BFSResult:
+def run_bfs(
+    graph: Graph,
+    root: int,
+    edge_mask: np.ndarray | None = None,
+    backend: str = "simulator",
+) -> BFSResult:
     """Run Lemma 2's BFS on ``graph`` (optionally restricted to an edge set).
 
     Returns a :class:`BFSResult`; ``result.rounds`` is the exact number of
-    CONGEST rounds the flood took (depth + O(1)).
+    CONGEST rounds the flood took (depth + O(1)). ``backend="vectorized"``
+    computes the identical result with numpy frontier sweeps.
     """
+    from repro.engine import validate_backend
+
+    if validate_backend(backend) == "vectorized":
+        from repro.engine.fastpath import vectorized_bfs
+
+        return vectorized_bfs(graph, root, edge_mask=edge_mask)
     if not (0 <= root < graph.n):
         raise ValidationError(f"root {root} out of range")
     network = Network(graph)
     if edge_mask is not None:
-        allowed = set(np.nonzero(np.asarray(edge_mask, dtype=bool))[0].tolist())
-        ports = {
-            v: network.ports_for_edges(v, allowed) for v in range(graph.n)
-        }
+        mask = np.asarray(edge_mask, dtype=bool)
+        ports = {v: network.ports_for_edges(v, mask) for v in range(graph.n)}
         channel_ports = lambda v: {0: ports[v]}  # noqa: E731
     else:
         channel_ports = lambda v: {0: None}  # noqa: E731
@@ -215,6 +235,7 @@ def run_parallel_bfs(
     graph: Graph,
     edge_masks: list[np.ndarray],
     roots: list[int] | None = None,
+    backend: str = "simulator",
 ) -> tuple[list[BFSResult], int]:
     """BFS concurrently in each edge-disjoint subgraph (Theorem 2 step 2).
 
@@ -224,7 +245,15 @@ def run_parallel_bfs(
 
     Returns ``(results_per_channel, total_rounds)`` — the rounds of the one
     joint execution, i.e. the *max* depth over channels, not the sum.
+    ``backend="vectorized"`` computes identical results and round counts
+    without instantiating the simulator.
     """
+    from repro.engine import validate_backend
+
+    if validate_backend(backend) == "vectorized":
+        from repro.engine.fastpath import vectorized_parallel_bfs
+
+        return vectorized_parallel_bfs(graph, edge_masks, roots=roots)
     masks = [np.asarray(m, dtype=bool) for m in edge_masks]
     if masks:
         stack = np.stack(masks)
@@ -237,14 +266,11 @@ def run_parallel_bfs(
 
     network = Network(graph)
     channel_roots = {c: roots[c] for c in range(len(masks))}
-    allowed_sets = [
-        set(np.nonzero(m)[0].tolist()) for m in masks
-    ]
     programs: list[BFSProgram] = []
 
     def factory(v: int) -> BFSProgram:
         ports = {
-            c: network.ports_for_edges(v, allowed_sets[c]) for c in range(len(masks))
+            c: network.ports_for_edges(v, masks[c]) for c in range(len(masks))
         }
         prog = BFSProgram(v, channel_roots, ports)
         programs.append(prog)

@@ -21,12 +21,32 @@ from __future__ import annotations
 import math
 from typing import Any
 
-__all__ = ["bits_for_int", "bits_for_payload", "message_bit_budget"]
+import numpy as np
+
+__all__ = [
+    "bits_for_int",
+    "bits_for_int_array",
+    "bits_for_payload",
+    "message_bit_budget",
+]
 
 
 def bits_for_int(x: int) -> int:
     """Bits to encode a (signed) integer: magnitude bits plus a sign bit."""
     return max(1, int(x).bit_length()) + 1
+
+
+def bits_for_int_array(xs: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`bits_for_int` over an int64 array.
+
+    Uses ``frexp`` for the bit length (exact for magnitudes below 2**53,
+    far beyond any message id the protocols carry).
+    """
+    xs = np.abs(np.asarray(xs, dtype=np.int64))
+    if xs.size and xs.max() >= (1 << 53):
+        return np.array([bits_for_int(int(x)) for x in xs], dtype=np.int64)
+    _, exponents = np.frexp(xs.astype(np.float64))
+    return np.maximum(1, exponents).astype(np.int64) + 1
 
 
 def bits_for_payload(payload: Any) -> int:

@@ -226,3 +226,79 @@ class TestMetrics:
         m.record_message(0, 3)
         s = m.summary()
         assert s["messages"] == 1 and s["bits"] == 3
+
+
+class TestPayloadBitsCache:
+    """Regression: the bit-size memo must not conflate equal-but-differently
+    typed payloads — ``hash(True) == hash(1)`` and ``(0, 1) == (False, True)``,
+    but ``bits_for_payload(True)`` is 1 bit while ``bits_for_payload(1)`` is 2."""
+
+    def _sim(self):
+        return Simulator(Network(path_graph(2)), lambda v: NodeProgram())
+
+    def test_bool_after_int_not_conflated(self):
+        sim = self._sim()
+        assert sim._payload_bits(1) == 2
+        assert sim._payload_bits(True) == 1
+
+    def test_int_after_bool_not_conflated(self):
+        sim = self._sim()
+        assert sim._payload_bits(True) == 1
+        assert sim._payload_bits(1) == 2
+
+    def test_tuple_payloads_interleaved(self):
+        from repro.util.bits import bits_for_payload
+
+        sim = self._sim()
+        for payload in [(0, 1), (False, True), (0, 1), (False, True)]:
+            assert sim._payload_bits(payload) == bits_for_payload(payload)
+        assert sim._payload_bits((0, 1)) == 4       # two signed ints
+        assert sim._payload_bits((False, True)) == 2  # two 1-bit flags
+
+    def test_list_payloads_priced_like_tuples_but_keyed_apart(self):
+        sim = self._sim()
+        assert sim._payload_bits(([0, 1], 2)) == sim._payload_bits(((0, 1), 2))
+
+    def test_end_to_end_bit_accounting(self):
+        """Interleaved bool/int sends must charge type-correct totals."""
+
+        class Mixed(NodeProgram):
+            def __init__(self, node):
+                super().__init__()
+                self.node = node
+
+            def on_start(self, ctx):
+                if self.node == 0:
+                    ctx.send(0, (0, 1))
+
+            def on_round(self, ctx):
+                if self.node == 1 and ctx.round == 1:
+                    ctx.send(0, (False, True))
+
+        result = Simulator(Network(path_graph(2)), Mixed).run()
+        # (0, 1) is 2+2 bits; (False, True) is 1+1 bits.
+        assert result.metrics.total_bits == 6
+
+
+class TestPortsForEdgesVectorized:
+    def test_accepts_bool_mask(self):
+        g = cycle_graph(6)
+        net = Network(g)
+        mask = np.zeros(g.m, dtype=bool)
+        mask[g.edge_id(0, 1)] = True
+        mask[g.edge_id(0, 5)] = True
+        assert net.ports_for_edges(0, mask) == [net.port_to(0, 1), net.port_to(0, 5)]
+
+    def test_accepts_set_array_and_list(self):
+        g = complete_graph(5)
+        net = Network(g)
+        eids = {g.edge_id(2, 0), g.edge_id(2, 4)}
+        expected = sorted([net.port_to(2, 0), net.port_to(2, 4)])
+        assert net.ports_for_edges(2, eids) == expected
+        assert net.ports_for_edges(2, np.array(sorted(eids))) == expected
+        assert net.ports_for_edges(2, sorted(eids)) == expected
+
+    def test_empty_selection(self):
+        net = Network(cycle_graph(4))
+        assert net.ports_for_edges(0, set()) == []
+        assert net.ports_for_edges(0, np.zeros(4, dtype=bool)) == []

@@ -1,0 +1,194 @@
+"""Property-based equivalence: vectorized backend == simulator, bit for bit.
+
+The vectorized engine (:mod:`repro.engine`) inherits the simulator's
+certification *by testing*: these tests assert exact equality of parents,
+dists, children, round counts, congestion, and message/bit totals across
+random graphs, edge masks, and multi-channel configurations. Any divergence
+is a bug in the fast path, never an accepted approximation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.broadcast import fast_broadcast, uniform_random_placement
+from repro.core.decomposition import random_partition
+from repro.core.lambda_search import find_packing_unknown_lambda
+from repro.core.tree_packing import build_tree_packing
+from repro.engine import BACKENDS, validate_backend
+from repro.engine.fastpath import vectorized_tree_broadcast
+from repro.engine.verify import (
+    check_bfs,
+    check_broadcast_pipeline,
+    check_leader,
+    check_numbering,
+    check_parallel_bfs,
+    check_tree_broadcast,
+    random_connected_graph,
+    random_edge_masks,
+    verify_equivalence,
+)
+from repro.graphs import path_of_cliques, thick_cycle
+from repro.primitives.bfs import run_bfs, run_parallel_bfs
+from repro.util.errors import BandwidthExceeded, ValidationError
+
+_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestBFSEquivalence:
+    @_SETTINGS
+    @given(
+        n=st.integers(2, 20),
+        extra=st.integers(0, 24),
+        seed=st.integers(0, 10_000),
+        root_pick=st.integers(0, 1_000_000),
+    )
+    def test_single_channel(self, n, extra, seed, root_pick):
+        g = random_connected_graph(n, extra, seed=seed)
+        assert check_bfs(g, root_pick % n) == []
+
+    @_SETTINGS
+    @given(
+        n=st.integers(2, 18),
+        extra=st.integers(0, 20),
+        seed=st.integers(0, 10_000),
+        parts=st.integers(1, 4),
+    )
+    def test_multi_channel_masks(self, n, extra, seed, parts):
+        g = random_connected_graph(n, extra, seed=seed)
+        masks = random_edge_masks(g, parts, seed=seed + 1)
+        assert check_parallel_bfs(g, masks) == []
+        # Masked single-channel BFS, including classes that may not span.
+        assert check_bfs(g, 0, edge_mask=masks[0]) == []
+
+    def test_single_node_graph(self):
+        from repro.graphs import Graph
+
+        g = Graph(1, [])
+        assert check_bfs(g, 0) == []
+
+    def test_disconnected_mask_exact_dists(self):
+        g = thick_cycle(6, 3)
+        mask = np.zeros(g.m, dtype=bool)
+        mask[:4] = True
+        assert check_bfs(g, 0, edge_mask=mask) == []
+
+    def test_invalid_backend_rejected(self):
+        g = thick_cycle(4, 3)
+        with pytest.raises(ValidationError):
+            run_bfs(g, 0, backend="gpu")
+        assert validate_backend(BACKENDS[0]) == "simulator"
+
+
+class TestPrologueEquivalence:
+    @_SETTINGS
+    @given(
+        n=st.integers(2, 20),
+        extra=st.integers(0, 24),
+        seed=st.integers(0, 10_000),
+    )
+    def test_leader_election(self, n, extra, seed):
+        g = random_connected_graph(n, extra, seed=seed)
+        assert check_leader(g) == []
+
+    @_SETTINGS
+    @given(
+        n=st.integers(2, 18),
+        extra=st.integers(0, 20),
+        seed=st.integers(0, 10_000),
+        data=st.data(),
+    )
+    def test_numbering(self, n, extra, seed, data):
+        g = random_connected_graph(n, extra, seed=seed)
+        counts = data.draw(
+            st.lists(st.integers(0, 5), min_size=n, max_size=n).map(np.asarray)
+        )
+        assert check_numbering(g, counts) == []
+
+
+class TestPipelineEquivalence:
+    @_SETTINGS
+    @given(
+        n=st.integers(2, 16),
+        extra=st.integers(0, 18),
+        seed=st.integers(0, 10_000),
+        parts=st.integers(1, 3),
+        k=st.integers(0, 30),
+    )
+    def test_tree_broadcast_rounds_and_metrics(self, n, extra, seed, parts, k):
+        g = random_connected_graph(n, extra, seed=seed)
+        masks = random_edge_masks(g, parts, seed=seed + 2)
+        assert check_tree_broadcast(g, masks, k, seed=seed + 3) == []
+
+    def test_oversized_payload_raises_like_simulator(self):
+        g = thick_cycle(4, 3)
+        tree = run_bfs(g, 0, backend="vectorized")
+        with pytest.raises(BandwidthExceeded):
+            vectorized_tree_broadcast(g, {0: tree}, {0: {0: [1 << 200]}})
+
+    def test_overlapping_trees_rejected(self):
+        g = thick_cycle(4, 3)
+        tree = run_bfs(g, 0, backend="vectorized")
+        with pytest.raises(ValidationError):
+            vectorized_tree_broadcast(g, {0: tree, 1: tree}, {0: {0: [1]}, 1: {0: [2]}})
+
+
+class TestPackingEquivalence:
+    def test_vectorized_packing_validates_and_matches(self):
+        g = thick_cycle(10, 6)
+        decomp = random_partition(g, 2, seed=4)
+        sim = build_tree_packing(decomp, backend="simulator")
+        vec = build_tree_packing(decomp, backend="vectorized")
+        vec.validate()  # TreePacking certification of the fast path
+        assert vec.is_edge_disjoint
+        assert sim.construction_rounds == vec.construction_rounds
+        assert np.array_equal(sim.edge_tree_count, vec.edge_tree_count)
+        for a, b in zip(sim.trees, vec.trees):
+            assert np.array_equal(a.parent, b.parent)
+            assert np.array_equal(a.depth_of, b.depth_of)
+
+    def test_unknown_lambda_search_same_trace(self):
+        g = path_of_cliques(3, 8, 2)
+        sim = find_packing_unknown_lambda(g, seed=2, C=1.0, backend="simulator")
+        vec = find_packing_unknown_lambda(g, seed=2, C=1.0, backend="vectorized")
+        assert sim.guesses == vec.guesses
+        assert sim.validation_rounds == vec.validation_rounds
+        assert sim.seeds == vec.seeds
+        assert sim.accepted_guess == vec.accepted_guess
+        assert sim.packing.construction_rounds == vec.packing.construction_rounds
+
+
+class TestEndToEndBroadcast:
+    def test_thick_cycle_ledgers_match(self):
+        g = thick_cycle(8, 6)
+        assert check_broadcast_pipeline(g, 40, seed=5, lam=12) == []
+
+    @_SETTINGS
+    @given(
+        n=st.integers(4, 14),
+        extra=st.integers(4, 20),
+        seed=st.integers(0, 10_000),
+        k=st.integers(1, 20),
+    )
+    def test_random_graph_ledgers_match(self, n, extra, seed, k):
+        g = random_connected_graph(n, extra, seed=seed)
+        assert check_broadcast_pipeline(g, k, seed=seed) == []
+
+    def test_vectorized_fast_broadcast_delivers(self):
+        g = thick_cycle(10, 8)
+        pl = uniform_random_placement(g.n, 60, seed=9)
+        res = fast_broadcast(g, pl, lam=16, C=1.5, seed=3, backend="vectorized")
+        assert res.delivered and res.k == 60
+        assert res.rounds == sum(res.phases.values())
+
+
+class TestHarnessSweep:
+    def test_randomized_sweep_is_clean(self):
+        report = verify_equivalence(trials=6, seed=11, max_n=20)
+        assert report.checks == 6 * 6
+        assert report.ok, report.mismatches

@@ -65,3 +65,43 @@ class TestBroadcastUnknownLambda:
         res, search = broadcast_unknown_lambda(g, pl, seed=8, C=1.0)
         assert search.iterations >= 2
         assert res.rounds >= res.phases["pipeline"] + search.total_validation_rounds
+
+
+class TestPerIterationSeeds:
+    """Regression: every iteration must draw a fresh partition seed (and
+    record it), so a guess that failed on an unlucky partition is actually
+    re-randomized rather than silently rescued by the guess halving."""
+
+    def test_seeds_recorded_and_distinct(self):
+        g = path_of_cliques(3, 12, 2)
+        out = find_packing_unknown_lambda(g, seed=2, C=1.0)
+        assert out.iterations >= 2
+        assert out.seeds == [2 + 7919 * i for i in range(out.iterations)]
+        assert len(set(out.seeds)) == out.iterations
+
+    def test_failed_iterations_used_fresh_partitions(self):
+        from unittest import mock
+
+        from repro.core import lambda_search
+        from repro.core.decomposition import random_partition as real_partition
+
+        g = path_of_cliques(3, 12, 2)
+        seen = []
+
+        def spy(graph, parts, seed):
+            seen.append(seed)
+            return real_partition(graph, parts, seed)
+
+        with mock.patch.object(lambda_search, "random_partition", spy):
+            out = lambda_search.find_packing_unknown_lambda(g, seed=5, C=1.0)
+        assert seen == out.seeds
+        assert len(set(seen)) == len(seen)
+
+    def test_accepted_iteration_reproducible_from_recorded_seed(self):
+        from repro.core.decomposition import num_parts, random_partition
+
+        g = path_of_cliques(3, 12, 2)
+        out = find_packing_unknown_lambda(g, seed=2, C=1.0)
+        parts = num_parts(out.accepted_guess, g.n, 1.0)
+        decomp = random_partition(g, parts, out.seeds[-1])
+        assert decomp.parts == out.packing.size
