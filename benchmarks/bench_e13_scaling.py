@@ -15,8 +15,11 @@ scaling predictions that the other experiments only probe pointwise:
 simulator can stomach — the phase ledgers must be identical and the
 vectorized engine must be ≥ 10× faster wall-clock. E13a/E13b/E13d then run
 on the vectorized backend, which is what lets E13d push to graph sizes the
-simulator never reached (the certified round counts are the same numbers;
-``tests/test_engine_equivalence.py`` is the proof).
+simulator never reached — the series now ends at n = 10⁵ (the certified
+round counts are the same numbers; ``tests/test_engine_equivalence.py`` is
+the proof). Per-n wall clocks and the backend speedups are merged into
+``BENCH_E13.json`` (:func:`benchmarks.conftest.write_bench_artifact`) so
+the engine's perf trajectory is tracked across PRs.
 
 Set ``E13_QUICK=1`` for the CI smoke: only the smallest config, both
 backends, ledger equality asserted, no timing assertions.
@@ -27,7 +30,7 @@ from __future__ import annotations
 import os
 import time
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, write_bench_artifact
 from repro.core import fast_broadcast, textbook_broadcast, uniform_random_placement
 from repro.graphs import thick_cycle
 from repro.util.tables import Table
@@ -58,6 +61,13 @@ def run_quick():
     out = _both_backends(groups=8, size=10, k=2 * 80, lam=20, seed=8)
     text, fast, _ = out["vectorized"]
     assert text.rounds / fast.rounds >= 1.5
+    speedup = out["simulator"][2] / out["vectorized"][2]
+    write_bench_artifact(
+        "e13_quick",
+        {"n": 80, "k": 160, "sim_seconds": round(out["simulator"][2], 4),
+         "vec_seconds": round(out["vectorized"][2], 4),
+         "speedup": round(speedup, 1)},
+    )
     return out
 
 
@@ -122,26 +132,50 @@ def run_experiment():
     speedup = out["simulator"][2] / out["vectorized"][2]
     print(f"E13c vectorized speedup: {speedup:.1f}x")
     assert speedup >= 10.0, f"vectorized speedup only {speedup:.1f}x"
+    write_bench_artifact(
+        "e13c",
+        {"n": 320, "k": 640, "sim_seconds": round(out["simulator"][2], 4),
+         "vec_seconds": round(out["vectorized"][2], 4),
+         "speedup": round(speedup, 1)},
+    )
 
-    # Series 4: vectorized-only scale-up — sizes the simulator never reached
-    # (the fast/textbook gap must persist, not collapse, at scale).
+    # Series 4: vectorized-only scale-up to n ≥ 10⁵ — sizes the simulator
+    # never reached (the fast/textbook gap must persist, not collapse, at
+    # scale). Per-n wall clocks land in BENCH_E13.json so the perf
+    # trajectory of the engine itself is tracked across PRs.
     t4 = Table(
-        ["n", "lam", "k", "textbook", "fast", "ratio"],
+        ["n", "lam", "k", "textbook", "fast", "ratio", "text_s", "fast_s"],
         title="E13d — vectorized-only scale-up (k=2n, λ=2·size)",
     )
     series4 = []
-    for groups, size in ((64, 20), (128, 30), (192, 40)):
+    artifact = []
+    for groups, size in ((64, 20), (128, 30), (192, 40), (500, 40),
+                         (1250, 40), (2500, 40)):
         g = thick_cycle(groups, size)
         lam = 2 * size
         k = 2 * g.n
         pl = uniform_random_placement(g.n, k, seed=groups)
+        t0 = time.perf_counter()
         text = textbook_broadcast(g, pl, backend="vectorized")
+        t_text = time.perf_counter() - t0
+        t0 = time.perf_counter()
         fast = fast_broadcast(g, pl, lam=lam, C=1.5, seed=3, backend="vectorized")
+        t_fast = time.perf_counter() - t0
         t4.add_row([g.n, lam, k, text.rounds, fast.rounds,
-                    round(text.rounds / fast.rounds, 2)])
+                    round(text.rounds / fast.rounds, 2),
+                    round(t_text, 2), round(t_fast, 2)])
         series4.append((g.n, text.rounds, fast.rounds))
+        artifact.append({
+            "n": g.n, "lam": lam, "k": k,
+            "textbook_rounds": text.rounds, "fast_rounds": fast.rounds,
+            "round_ratio": round(text.rounds / fast.rounds, 2),
+            "textbook_seconds": round(t_text, 3),
+            "fast_seconds": round(t_fast, 3),
+        })
     t4.print()
     assert all(t / f >= 2.0 for _, t, f in series4)
+    assert series4[-1][0] >= 100_000, "scale-up series must reach n >= 1e5"
+    write_bench_artifact("e13d", artifact)
 
     return series1, series2, series4
 

@@ -7,14 +7,59 @@ rounds, the Õ(n/λ) reference scale, and the certified (3, 2) envelope.
 Shape assertions: the envelope holds everywhere (d ≤ d̃ ≤ 3d+2) and total
 rounds *decrease* as λ grows at fixed n — the sublinearity that separates
 this result from the Ω̃(n) general-graph APSP lower bounds.
+
+**Backends.** The sweep itself runs on the vectorized engine (identical
+ledgers, certified by ``tests/test_engine_equivalence.py``). A dedicated
+cross-check then executes the full pipeline on *both* backends at the
+largest simulator-feasible host: estimates, cluster assignments, and both
+round ledgers must match bit-for-bit, and the vectorized path must be
+≥ 20× faster wall-clock; the timing lands in ``BENCH_E13.json``.
+
+Set ``E6_QUICK=1`` for the CI smoke: smallest host, both backends, ledger
+equality asserted, no timing assertions.
 """
 
 from __future__ import annotations
 
-from benchmarks.conftest import run_once
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import run_once, write_bench_artifact
 from repro.apsp import approx_apsp_unweighted, check_32_approximation
 from repro.graphs import thick_cycle
 from repro.util.tables import Table
+
+
+def _both_backends(g, lam, seed):
+    """Full Theorem 4 pipeline on both backends: identical results, timed."""
+    out = {}
+    for backend in ("simulator", "vectorized"):
+        t0 = time.perf_counter()
+        res = approx_apsp_unweighted(g, lam=lam, C=1.5, seed=seed, backend=backend)
+        out[backend] = (res, time.perf_counter() - t0)
+    sim, vec = out["simulator"][0], out["vectorized"][0]
+    assert np.array_equal(sim.estimate, vec.estimate), "APSP estimates diverged"
+    assert np.array_equal(sim.clustering.s, vec.clustering.s)
+    assert sim.simulated_rounds == vec.simulated_rounds, "simulated ledgers diverged"
+    assert sim.charged_rounds == vec.charged_rounds, "charged ledgers diverged"
+    return out
+
+
+def run_quick():
+    """CI smoke: smallest host, both backends, bit-identical pipelines."""
+    g = thick_cycle(10, 6)  # n = 60, λ = 12
+    out = _both_backends(g, lam=12, seed=5)
+    ok, _ = check_32_approximation(g, out["vectorized"][0].estimate)
+    assert ok
+    write_bench_artifact(
+        "e6_quick",
+        {"n": g.n, "sim_seconds": round(out["simulator"][1], 4),
+         "vec_seconds": round(out["vectorized"][1], 4),
+         "speedup": round(out["simulator"][1] / out["vectorized"][1], 1)},
+    )
+    return out
 
 
 def run_experiment():
@@ -31,7 +76,7 @@ def run_experiment():
     ]
     rows = []
     for g, lam in hosts:
-        res = approx_apsp_unweighted(g, lam=lam, C=1.5, seed=5)
+        res = approx_apsp_unweighted(g, lam=lam, C=1.5, seed=5, backend="vectorized")
         ok, worst = check_32_approximation(g, res.estimate)
         sim = sum(res.simulated_rounds.values())
         charged = sum(res.charged_rounds.values())
@@ -46,8 +91,29 @@ def run_experiment():
     # Shape: at n = 120 fixed, higher λ → cheaper broadcast phase.
     sims = [sum(r.simulated_rounds.values()) for _, _, r, _ in rows]
     assert sims[-1] < sims[0]
+
+    # Backend cross-check + wall-clock speedup at the largest host the
+    # simulator can stomach (n = 180 > the sweep's 120).
+    g = thick_cycle(10, 18)  # n = 180, λ = 36
+    out = _both_backends(g, lam=36, seed=5)
+    speedup = out["simulator"][1] / out["vectorized"][1]
+    print(
+        f"E6 backend cross-check (n={g.n}): sim {out['simulator'][1]:.2f}s, "
+        f"vec {out['vectorized'][1]:.3f}s, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 20.0, f"vectorized APSP speedup only {speedup:.1f}x"
+    write_bench_artifact(
+        "e6",
+        {"n": g.n, "lam": 36,
+         "sim_seconds": round(out["simulator"][1], 4),
+         "vec_seconds": round(out["vectorized"][1], 4),
+         "speedup": round(speedup, 1)},
+    )
     return rows
 
 
 def test_e6_apsp(benchmark):
-    run_once(benchmark, run_experiment)
+    if os.environ.get("E6_QUICK") == "1":
+        run_once(benchmark, run_quick)
+    else:
+        run_once(benchmark, run_experiment)

@@ -8,9 +8,18 @@ Every benchmark:
 2. prints its table in the fixed layout EXPERIMENTS.md quotes,
 3. **asserts the paper-shape** (who wins, scaling direction, approximation
    envelope) so a regression in any algorithm fails the bench run loudly.
+
+Perf-tracking benchmarks (E6, E8, E13) additionally merge their wall-clock
+and backend-speedup numbers into ``BENCH_E13.json`` via
+:func:`write_bench_artifact`; CI uploads the file so the perf trajectory is
+comparable across PRs.
 """
 
 from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
@@ -18,3 +27,30 @@ import pytest
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark and return its value."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def bench_artifact_path() -> Path:
+    """Where the machine-readable perf artifact lives (repo root by default;
+    override with ``BENCH_E13_PATH``)."""
+    env = os.environ.get("BENCH_E13_PATH")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parent.parent / "BENCH_E13.json"
+
+
+def write_bench_artifact(section: str, payload) -> Path:
+    """Merge one benchmark's ``payload`` under ``section`` in BENCH_E13.json.
+
+    Read-modify-write so E6, E8, and E13 can each contribute their own
+    section regardless of execution order; returns the path written.
+    """
+    path = bench_artifact_path()
+    data = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            data = {}  # a torn artifact from an interrupted run: start over
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path

@@ -91,7 +91,17 @@ def build_clustering(graph: Graph, c: float = 3.0, seed=None, max_tries: int = 2
     w.h.p. event; with the default c = 3 a retry is rare already at n ≈ 100.
     Ties (several center neighbors) resolve to the smallest center id,
     matching the deterministic conventions used elsewhere.
+
+    The center assignment and cluster-graph contraction run as O(n + m)
+    whole-array sweeps (:mod:`repro.engine.pipelines`) — a straight port of
+    the per-node/per-edge reference loops with identical outputs for every
+    seed; ``tests/test_engine_equivalence.py`` cross-checks the port against
+    :func:`_reference_attempt` on random graphs. Both backends of the APSP
+    pipeline share this construction (it is one local CONGEST round, not a
+    simulated protocol).
     """
+    from repro.engine.pipelines import assign_centers, contract_clusters
+
     rng = ensure_rng(seed)
     delta = graph.min_degree()
     p = center_sampling_probability(graph.n, delta, c)
@@ -99,28 +109,11 @@ def build_clustering(graph: Graph, c: float = 3.0, seed=None, max_tries: int = 2
         is_center = rng.random(graph.n) < p
         if not is_center.any():
             continue
-        centers = np.nonzero(is_center)[0]
-        index_of = {int(v): i for i, v in enumerate(centers.tolist())}
-        s = np.full(graph.n, -1, dtype=np.int64)
-        ok = True
-        for v in range(graph.n):
-            if is_center[v]:
-                s[v] = index_of[v]
-                continue
-            nbrs = graph.neighbors(v)
-            center_nbrs = nbrs[is_center[nbrs]]
-            if center_nbrs.size == 0:
-                ok = False
-                break
-            s[v] = index_of[int(center_nbrs[0])]
-        if not ok:
+        assigned = assign_centers(graph, is_center)
+        if assigned is None:  # some node saw no center neighbor: fresh coins
             continue
-        edges = set()
-        for u, v in graph.edges():
-            cu, cv = int(s[u]), int(s[v])
-            if cu != cv:
-                edges.add((min(cu, cv), max(cu, cv)))
-        cluster_graph = Graph(len(centers), sorted(edges))
+        centers, s = assigned
+        cluster_graph = contract_clusters(graph, s, len(centers))
         return Clustering(
             graph=graph,
             centers=[int(v) for v in centers.tolist()],
@@ -133,3 +126,32 @@ def build_clustering(graph: Graph, c: float = 3.0, seed=None, max_tries: int = 2
         f"{max_tries} attempts (increase c; δ={delta} may be too small "
         f"for n={graph.n})"
     )
+
+
+def _reference_attempt(
+    graph: Graph, is_center: np.ndarray
+) -> tuple[list[int], np.ndarray, Graph] | None:
+    """Per-node/per-edge reference for one clustering attempt.
+
+    The pre-vectorization loops, kept verbatim as the ground truth the
+    equivalence suite certifies the O(n + m) port against. Returns
+    ``(centers, s, cluster_graph)`` or ``None`` on the retry event.
+    """
+    centers = np.nonzero(is_center)[0]
+    index_of = {int(v): i for i, v in enumerate(centers.tolist())}
+    s = np.full(graph.n, -1, dtype=np.int64)
+    for v in range(graph.n):
+        if is_center[v]:
+            s[v] = index_of[v]
+            continue
+        nbrs = graph.neighbors(v)
+        center_nbrs = nbrs[is_center[nbrs]]
+        if center_nbrs.size == 0:
+            return None
+        s[v] = index_of[int(center_nbrs[0])]
+    edges = set()
+    for u, v in graph.edges():
+        cu, cv = int(s[u]), int(s[v])
+        if cu != cv:
+            edges.add((min(cu, cv), max(cu, cv)))
+    return [int(v) for v in centers.tolist()], s, Graph(len(centers), sorted(edges))

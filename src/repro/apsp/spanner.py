@@ -68,12 +68,25 @@ def _lightest_per_cluster(
     return best
 
 
-def baswana_sen_spanner(graph: Graph, k: int, seed=None) -> SpannerResult:
+def baswana_sen_spanner(
+    graph: Graph, k: int, seed=None, backend: str = "simulator"
+) -> SpannerResult:
     """Construct a (2k−1)-spanner with expected O(k·n^{1+1/k}) edges.
 
     ``k = 1`` returns the graph itself (stretch 1). Unweighted graphs are
     treated as weight-1 graphs (the standard reduction).
+
+    backend: ``"simulator"`` (default) executes the per-node local rules
+        verbatim, one node at a time — the faithful rendering of the
+        distributed [BS07] execution; ``"vectorized"`` computes the
+        bit-identical edge set (same RNG draws, same tie-breaks) with the
+        whole-array sweeps of :mod:`repro.engine.pipelines`, which is what
+        lets the Koutis–Xu sparsifier and Theorem 5 APSP run at sizes the
+        per-node loops cannot reach.
     """
+    from repro.engine import validate_backend
+
+    validate_backend(backend)
     if k < 1:
         raise ValidationError("k must be >= 1")
     n = graph.n
@@ -87,6 +100,23 @@ def baswana_sen_spanner(graph: Graph, k: int, seed=None) -> SpannerResult:
     rng = ensure_rng(seed)
     p = n ** (-1.0 / k)
 
+    if backend == "vectorized":
+        from repro.engine.pipelines import vectorized_spanner_edges
+
+        ids = vectorized_spanner_edges(graph, k, rng, p)
+    else:
+        ids = _reference_spanner_edges(graph, k, rng, p)
+    mask = np.zeros(graph.m, dtype=bool)
+    mask[ids] = True
+    sub = graph.edge_subgraph(mask)
+    return SpannerResult(spanner=sub, k=k, edge_ids=ids, charged_rounds=k * k)
+
+
+def _reference_spanner_edges(
+    graph: Graph, k: int, rng, p: float
+) -> np.ndarray:
+    """Per-node-loop [BS07] execution: the ``backend="simulator"`` path."""
+    n = graph.n
     spanner_edges: set[int] = set()
     # cluster_of[v] = center id of v's cluster at the current level, -1 if v
     # has left the clustering.
@@ -142,13 +172,7 @@ def baswana_sen_spanner(graph: Graph, k: int, seed=None) -> SpannerResult:
                 continue  # intra-cluster edges are not needed
             spanner_edges.add(eid)
 
-    ids = np.array(sorted(spanner_edges), dtype=np.int64)
-    mask = np.zeros(graph.m, dtype=bool)
-    mask[ids] = True
-    sub = graph.edge_subgraph(mask)
-    return SpannerResult(
-        spanner=sub, k=k, edge_ids=ids, charged_rounds=k * k
-    )
+    return np.array(sorted(spanner_edges), dtype=np.int64)
 
 
 def check_spanner_stretch(graph: Graph, spanner: Graph, k: int) -> tuple[bool, float]:

@@ -61,8 +61,20 @@ def approx_apsp_unweighted(
     c: float = 3.0,
     C: float = 2.0,
     seed: int = 0,
+    backend: str = "simulator",
 ) -> ApproxAPSPResult:
-    """Theorem 4: (3, 2)-approximate APSP in Õ(n/λ) rounds."""
+    """Theorem 4: (3, 2)-approximate APSP in Õ(n/λ) rounds.
+
+    backend: ``"simulator"`` (default) runs the broadcast phase — the
+        simulated, round-dominating part of the pipeline — on the CONGEST
+        simulator; ``"vectorized"`` produces the bit-identical result
+        (same estimates, same cluster assignments, same simulated + charged
+        ledgers) via the numpy engine (:mod:`repro.engine`). Clustering and
+        PRT are shared local computations, identical on both backends.
+    """
+    from repro.engine import validate_backend
+
+    validate_backend(backend)
     clustering = build_clustering(graph, c=c, seed=seed)
     k = clustering.k
 
@@ -72,7 +84,13 @@ def approx_apsp_unweighted(
     # the real Theorem 1 machinery.
     placement = {v: 1 for v in range(graph.n)}
     bres = fast_broadcast(
-        graph, placement, lam=lam, C=C, seed=seed, distributed_packing=False
+        graph,
+        placement,
+        lam=lam,
+        C=C,
+        seed=seed,
+        distributed_packing=False,
+        backend=backend,
     )
 
     n = graph.n

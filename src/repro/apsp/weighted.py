@@ -61,12 +61,18 @@ def approx_apsp_weighted(
     lam: int | None = None,
     C: float = 2.0,
     seed: int = 0,
+    backend: str = "simulator",
 ) -> WeightedAPSPResult:
     """Theorem 5: (2k−1)-approximate weighted APSP in Õ(n^{1+1/k}/λ) rounds.
 
     The spanner edges are the broadcast payload: one message per edge,
     placed at the edge's lower-id endpoint (that node knows the edge and its
     weight locally).
+
+    backend: ``"simulator"`` (default) runs the per-node [BS07] rules and
+        the CONGEST-simulated broadcast; ``"vectorized"`` computes the
+        bit-identical spanner, estimates, and round ledgers with the numpy
+        engine (:mod:`repro.engine`).
     """
     from scipy.sparse.csgraph import dijkstra
 
@@ -75,7 +81,7 @@ def approx_apsp_weighted(
             "approx_apsp_weighted expects a weighted graph; "
             "use approx_apsp_unweighted for unweighted inputs"
         )
-    sp = baswana_sen_spanner(graph, k, seed=seed)
+    sp = baswana_sen_spanner(graph, k, seed=seed, backend=backend)
 
     # Broadcast one message per spanner edge, held by its lower endpoint.
     placement: dict[int, int] = {}
@@ -83,7 +89,13 @@ def approx_apsp_weighted(
         u, _v = graph.edge_endpoints(eid)
         placement[u] = placement.get(u, 0) + 1
     bres = fast_broadcast(
-        graph, placement, lam=lam, C=C, seed=seed, distributed_packing=False
+        graph,
+        placement,
+        lam=lam,
+        C=C,
+        seed=seed,
+        distributed_packing=False,
+        backend=backend,
     )
 
     estimate = dijkstra(sp.spanner.to_scipy_csr(), directed=False)

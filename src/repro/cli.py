@@ -138,17 +138,22 @@ def _cmd_apsp(args) -> int:
 
         gw = random_weights(g, seed=args.seed)
         k = args.spanner_k or corollary1_k(g.n)
-        res = approx_apsp_weighted(gw, k=k, C=args.C, seed=args.seed)
+        res = approx_apsp_weighted(
+            gw, k=k, C=args.C, seed=args.seed, backend=args.backend
+        )
         ok, worst = check_weighted_stretch(gw, res.estimate, k)
         print(f"weighted APSP: k={k} stretch_bound={2*k-1} measured={worst:.2f} ok={ok}")
         print(f"spanner edges broadcast: {res.messages_broadcast}")
     else:
         from repro.apsp import approx_apsp_unweighted, check_32_approximation
 
-        res = approx_apsp_unweighted(g, C=args.C, seed=args.seed)
+        res = approx_apsp_unweighted(
+            g, C=args.C, seed=args.seed, backend=args.backend
+        )
         ok, worst = check_32_approximation(g, res.estimate)
         print(f"(3,2)-approx APSP: envelope_ok={ok} worst_mult={worst:.2f}")
         print(f"clusters: {res.k_clusters}")
+    print(f"backend: {args.backend}")
     print(f"simulated rounds: {res.simulated_rounds}")
     print(f"charged rounds:   {res.charged_rounds}")
     print(f"total rounds:     {res.rounds}")
@@ -159,9 +164,13 @@ def _cmd_cuts(args) -> int:
     from repro.cuts import approx_all_cuts, evaluate_cut_quality
 
     g = parse_graph_spec(args.graph)
-    res = approx_all_cuts(g, eps=args.eps, C=args.C, seed=args.seed, tau=args.tau)
+    res = approx_all_cuts(
+        g, eps=args.eps, C=args.C, seed=args.seed, tau=args.tau,
+        backend=args.backend,
+    )
     quality = evaluate_cut_quality(g, res.sparsifier.sparsifier, seed=args.seed)
     print(f"sparsifier: {res.sparsifier.m} of {g.m} edges")
+    print(f"backend: {args.backend}")
     print(f"rounds: {res.rounds} (simulated {res.simulated_rounds})")
     print(
         f"cut error: max={quality['max_rel_error']:.3f} "
@@ -184,14 +193,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--C", type=float, default=2.0, help="Theorem 2 constant")
 
     def backend_opt(p):
-        # Only on commands that actually honor it (broadcast, packing); the
-        # APSP/cuts pipelines are simulator-only for now (see ROADMAP).
         p.add_argument(
             "--backend",
             choices=["simulator", "vectorized"],
             default="simulator",
-            help="simulator = certified CONGEST execution; vectorized = "
-            "identical results via the numpy fast-path engine",
+            help="simulator = certified CONGEST execution (per-node "
+            "programs); vectorized = bit-identical results — same "
+            "estimates/sparsifiers, same round ledgers — via the numpy "
+            "fast-path engine, orders of magnitude faster",
         )
 
     p = sub.add_parser("info", help="graph family parameters")
@@ -217,12 +226,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("apsp", help="approximate APSP (Theorem 4 / 5)")
     common(p)
+    backend_opt(p)
     p.add_argument("--weighted", action="store_true")
     p.add_argument("--spanner-k", type=int, default=0)
     p.set_defaults(fn=_cmd_apsp)
 
     p = sub.add_parser("cuts", help="all-cuts approximation (Theorem 7)")
     common(p)
+    backend_opt(p)
     p.add_argument("--eps", type=float, default=0.4)
     p.add_argument("--tau", type=int, default=3)
     p.set_defaults(fn=_cmd_cuts)

@@ -52,14 +52,31 @@ def approx_all_cuts(
     C: float = 2.0,
     seed: int = 0,
     tau: int | None = None,
+    backend: str = "simulator",
 ) -> CutApproxResult:
-    """Theorem 7: sparsify, broadcast, estimate everything locally."""
-    sp = koutis_xu_sparsifier(graph, eps, seed=seed, tau=tau)
+    """Theorem 7: sparsify, broadcast, estimate everything locally.
+
+    backend: ``"simulator"`` (default) runs the per-node sparsifier loops
+        and the CONGEST-simulated broadcast; ``"vectorized"`` computes the
+        bit-identical sparsifier and round ledgers with the numpy engine
+        (:mod:`repro.engine`), which is what lets E8 scale past the
+        simulator's toy sizes.
+    """
+    from repro.engine import validate_backend
+
+    validate_backend(backend)
+    sp = koutis_xu_sparsifier(graph, eps, seed=seed, tau=tau, backend=backend)
     placement: dict[int, int] = {}
     for u in sp.sparsifier.edge_u.tolist():
         placement[u] = placement.get(u, 0) + 1
     bres = fast_broadcast(
-        graph, placement, lam=lam, C=C, seed=seed, distributed_packing=False
+        graph,
+        placement,
+        lam=lam,
+        C=C,
+        seed=seed,
+        distributed_packing=False,
+        backend=backend,
     )
     return CutApproxResult(
         sparsifier=sp,

@@ -70,13 +70,24 @@ def koutis_xu_sparsifier(
     spanner_k: int | None = None,
     tau: int | None = None,
     max_levels: int | None = None,
+    backend: str = "simulator",
 ) -> SparsifierResult:
     """Spanner-bundle cut sparsifier (the Theorem 6 object).
 
     Works on weighted or unweighted graphs (unweighted = all weights 1).
     The per-level round charge is ``τ · O(spanner_k²)`` (τ spanner
     constructions, [BS07] cost each), totaling the Õ(1/ε²) of Theorem 6.
+
+    backend: ``"simulator"`` (default) builds each bundle spanner with the
+        per-node [BS07] loops; ``"vectorized"`` uses the whole-array twin
+        (:mod:`repro.engine.pipelines`). One RNG stream threads through the
+        τ spanner builds and the level's sampling round identically on both
+        backends, so the resulting sparsifier — edges, weights, levels,
+        charged rounds — is bit-identical for equal seeds.
     """
+    from repro.engine import validate_backend
+
+    validate_backend(backend)
     rng = ensure_rng(seed)
     n = graph.n
     if spanner_k is None:
@@ -113,7 +124,7 @@ def koutis_xu_sparsifier(
             if not remaining.any():
                 break
             sub, orig = g_cur.edge_subgraph_with_map(remaining)
-            sp = baswana_sen_spanner(sub, spanner_k, seed=rng)
+            sp = baswana_sen_spanner(sub, spanner_k, seed=rng, backend=backend)
             charged += sp.charged_rounds
             chosen = orig[sp.edge_ids]
             in_bundle[chosen] = True

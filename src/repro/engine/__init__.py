@@ -45,13 +45,24 @@ random graphs, edge masks, and multi-channel configurations — results must
 match bit-for-bit. Anything the fast path cannot reproduce exactly must
 stay on the simulator.
 
+The loop-bound *application* pipelines have twins too
+(:mod:`repro.engine.pipelines`): cluster growth for Theorem 4, the
+Baswana–Sen spanner behind Theorem 5 and the Koutis–Xu sparsifier, all
+bit-identical in outputs **and RNG consumption**, so mixed-backend pipelines
+stay reproducible.
+
 Callers opt in via the ``backend=`` parameter threaded through
 :func:`repro.primitives.bfs.run_bfs`,
 :func:`repro.primitives.bfs.run_parallel_bfs`,
 :func:`repro.core.tree_packing.build_tree_packing`,
-:func:`repro.core.lambda_search.find_packing_unknown_lambda`, and the
-broadcast drivers in :mod:`repro.core.broadcast`; the CLI exposes it as
-``--backend``.
+:func:`repro.core.lambda_search.find_packing_unknown_lambda`, the broadcast
+drivers in :mod:`repro.core.broadcast`, the APSP pipelines
+(:func:`repro.apsp.approx_apsp_unweighted`,
+:func:`repro.apsp.approx_apsp_weighted`,
+:func:`repro.apsp.baswana_sen_spanner`) and the cut pipelines
+(:func:`repro.cuts.koutis_xu_sparsifier`,
+:func:`repro.cuts.approx_all_cuts`); the CLI exposes it as ``--backend``
+on the ``broadcast``, ``packing``, ``apsp``, and ``cuts`` subcommands.
 """
 
 from __future__ import annotations
@@ -63,6 +74,11 @@ from repro.engine.fastpath import (
     vectorized_parallel_bfs,
     vectorized_tree_broadcast,
 )
+from repro.engine.pipelines import (
+    assign_centers,
+    contract_clusters,
+    vectorized_spanner_edges,
+)
 from repro.util.errors import ValidationError
 
 __all__ = [
@@ -73,6 +89,9 @@ __all__ = [
     "vectorized_elect_leader",
     "vectorized_numbering",
     "vectorized_tree_broadcast",
+    "assign_centers",
+    "contract_clusters",
+    "vectorized_spanner_edges",
 ]
 
 BACKENDS = ("simulator", "vectorized")

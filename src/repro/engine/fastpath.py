@@ -36,19 +36,11 @@ def _channel_adjacency(
 ) -> tuple[np.ndarray, np.ndarray]:
     """CSR (indptr, indices) of the subgraph keeping only masked edges.
 
-    Neighbor order inside each block is preserved (sorted by id), so the
-    smallest-port tie-break of the simulator survives the filtering.
+    Thin wrapper over :meth:`Graph.masked_csr`, which memoizes the filtered
+    arrays per (graph, mask) pair — repeated traversals of one decomposition
+    (parallel channels, packing retries, both-backend sweeps) reuse them.
     """
-    if edge_mask is None:
-        return graph._indptr, graph._indices
-    mask = np.asarray(edge_mask, dtype=bool)
-    allowed = mask[graph._adj_edge_id]
-    indices = graph._indices[allowed]
-    rows = np.repeat(np.arange(graph.n), np.diff(graph._indptr))
-    counts = np.bincount(rows[allowed], minlength=graph.n)
-    indptr = np.zeros(graph.n + 1, dtype=np.int64)
-    np.cumsum(counts, out=indptr[1:])
-    return indptr, indices
+    return graph.masked_csr(edge_mask)
 
 
 def _frontier_sweep(
@@ -281,6 +273,20 @@ def vectorized_numbering(
 # Lemma 1 / Theorem 1 step 4 — pipelined tree broadcast
 # --------------------------------------------------------------------------- #
 
+def _last_send_round(arrival_rounds: np.ndarray, arrival_counts: np.ndarray) -> int:
+    """Last send round of a work-conserving unit-rate queue fed by batches.
+
+    ``arrival_counts[j]`` items land in round ``arrival_rounds[j]`` (rounds
+    strictly increasing, at least one batch); the server sends one item per
+    round whenever its queue is nonempty, and an item arriving in round r can
+    already be sent in round r. Folding the per-item recurrence
+    ``t_i = max(a_i, t_{i-1} + 1)`` over whole batches gives the closed form
+    ``t_last = max_j (a_j + (K - cum_{<j})) - 1`` with K the total item count.
+    """
+    cum_before = np.cumsum(arrival_counts) - arrival_counts
+    total = int(arrival_counts[-1] + cum_before[-1])
+    return int((arrival_rounds + (total - cum_before)).max()) - 1
+
 def vectorized_tree_broadcast(
     graph: Graph,
     trees: dict[int, BFSResult],
@@ -291,12 +297,15 @@ def vectorized_tree_broadcast(
     """Fast-path :func:`repro.primitives.pipeline.run_tree_broadcast`.
 
     The pipeline's round count depends only on per-node queue *lengths*
-    (message identity never influences when a queue drains), so a per-round
-    recurrence over (channel, node) length arrays reproduces the simulator's
-    count exactly: each round, every nonempty up-queue sends one message to
-    its parent and every nonempty down-queue pops one (forwarded to children,
-    if any); arrivals land one round after sends; the run ends one round
-    after the last send or busy flag.
+    (message identity never influences when a queue drains): each round,
+    every nonempty up-queue sends one message to its parent and every
+    nonempty down-queue pops one (forwarded to children, if any); arrivals
+    land one round after sends. The count is reproduced exactly without
+    pumping every queue every round: a sparse sweep over the nonempty
+    up-queues yields the root's arrival stream, the root's service is the
+    closed-form :func:`_last_send_round`, and the downcast is a pure
+    pipeline (non-root down-queues never exceed one item), finishing
+    ``depth(T)`` rounds after the root's last send.
 
     Metrics are closed-form: each message crosses every tree edge once on the
     downcast and its origin-to-root path once on the upcast, so the edge
@@ -398,39 +407,75 @@ def vectorized_tree_broadcast(
         chan_origins.append(np.repeat(node_ids, lens))
         chan_bits.append(bits)
 
-    # ---- exact round count: queue-length recurrence ---------------------- #
-    has_children = np.zeros((C, n), dtype=bool)
-    for ci in range(C):
-        kids = parents[ci][nonroot[ci]]
-        if kids.size:
-            has_children[ci][np.unique(kids)] = True
-
-    up = np.where(nonroot, own, 0)
-    down = np.where(nonroot, 0, own)
-
+    # ---- exact round count: batched upcast + closed-form downcast -------- #
+    # The dense (channel, node) queue recurrence this replaces cost
+    # O(rounds · n · C) — it pumped every queue every round. Three structural
+    # facts collapse it while keeping the count bit-identical:
+    #   1. channels never interact (queues are per (channel, node); the
+    #      shared clock is just the max of the per-channel finish times);
+    #   2. a non-root DOWN queue never exceeds one item (arrivals ≤ 1/round
+    #      from the parent, service 1/round), so the downcast is a pure
+    #      pipeline: the root's last down-send at round t_last drains at the
+    #      deepest leaf in round t_last + depth(T), which is the round the
+    #      simulator goes quiet;
+    #   3. the upcast therefore only needs the *root's arrival stream*, which
+    #      one sparse sweep over the nonempty UP queues of all channels
+    #      yields in O(Σ_msg depth(origin)) total work.
+    up = np.where(nonroot, own, 0).ravel()
     flat_parents = (parents + (np.arange(C) * n)[:, None]).ravel()
+    is_root = ~nonroot.ravel()
+    active = np.nonzero(up > 0)[0]
+    hit_flat: list[np.ndarray] = []  # root arrivals: flat index / count / round
+    hit_count: list[np.ndarray] = []
+    hit_round: list[np.ndarray] = []
+    r = 0
+    while active.size:  # `active` is kept sorted and duplicate-free
+        up[active] -= 1  # every nonempty UP queue sends one item to its parent
+        r += 1
+        tgt = flat_parents[active]
+        tgt.sort()
+        head = np.empty(tgt.size, dtype=bool)
+        head[0] = True
+        np.not_equal(tgt[1:], tgt[:-1], out=head[1:])
+        starts = np.nonzero(head)[0]
+        targets = tgt[starts]
+        counts = np.diff(starts, append=tgt.size)
+        at_root = is_root[targets]
+        if at_root.any():
+            hit_flat.append(targets[at_root])
+            hit_count.append(counts[at_root])
+            hit_round.append(np.full(int(at_root.sum()), r, dtype=np.int64))
+        relayed = targets[~at_root]
+        up[relayed] += counts[~at_root]
+        # Merge (sorted ∪ sorted): survivors of the decrement + relay targets.
+        merged = np.concatenate([active[up[active] > 0], relayed])
+        merged.sort()
+        keep = np.empty(merged.size, dtype=bool)
+        if merged.size:
+            keep[0] = True
+            np.not_equal(merged[1:], merged[:-1], out=keep[1:])
+        active = merged[keep]
 
-    def pump() -> tuple[np.ndarray, np.ndarray, bool, bool]:
-        sent_up = (up > 0) & nonroot
-        sent_down = down > 0
-        up[sent_up] -= 1
-        down[sent_down] -= 1
-        busy = bool((up > 0).any() or (down > 0).any())
-        in_flight = bool(sent_up.any() or (sent_down & has_children).any())
-        return sent_up, sent_down, busy, in_flight
+    if hit_flat:
+        hf = np.concatenate(hit_flat)
+        hc = np.concatenate(hit_count)
+        hr = np.concatenate(hit_round)
+    else:
+        hf = hc = hr = np.empty(0, dtype=np.int64)
 
-    sent_up, sent_down, busy, in_flight = pump()  # round 0 (on_start)
+    root_own = own[~nonroot]  # one entry per channel, in channel order
     rounds = 0
-    while in_flight or busy:
-        rounds += 1
-        up_arrivals = np.bincount(
-            flat_parents[sent_up.ravel()], minlength=C * n
-        ).reshape(C, n)
-        down_arrivals = np.take_along_axis(sent_down, parents, axis=1) & nonroot
-        up += np.where(nonroot, up_arrivals, 0)
-        down += np.where(nonroot, 0, up_arrivals)  # root bounces UP into DOWN
-        down += down_arrivals
-        sent_up, sent_down, busy, in_flight = pump()
+    for ci, cid in enumerate(cids):
+        if per_channel_k[cid] == 0:
+            continue  # no sends on this channel at all
+        sel = (hf // n) == ci
+        arr_rounds = hr[sel]  # strictly increasing (≤ one batch per round)
+        arr_counts = hc[sel]
+        if root_own[ci]:
+            arr_rounds = np.concatenate([[0], arr_rounds])
+            arr_counts = np.concatenate([[int(root_own[ci])], arr_counts])
+        t_last = _last_send_round(arr_rounds, arr_counts)
+        rounds = max(rounds, t_last + int(dists[ci].max()))
 
     # ---- exact metrics: closed-form congestion and totals ---------------- #
     total_bits = 0

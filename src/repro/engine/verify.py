@@ -29,6 +29,11 @@ __all__ = [
     "check_numbering",
     "check_tree_broadcast",
     "check_broadcast_pipeline",
+    "check_clustering",
+    "check_spanner",
+    "check_sparsifier",
+    "check_apsp_pipeline",
+    "check_cuts_pipeline",
     "EquivalenceReport",
     "verify_equivalence",
 ]
@@ -220,6 +225,183 @@ def check_broadcast_pipeline(graph: Graph, k: int, seed, lam: int | None = None)
     return out
 
 
+def check_clustering(graph: Graph, seed, c: float = 3.0) -> list[str]:
+    """Theorem 4 cluster growth: O(n+m) numpy port vs the per-node loops.
+
+    Replays the exact coin schedule of :func:`build_clustering` against the
+    retained reference (:func:`repro.apsp.clustering._reference_attempt`);
+    centers, assignments, and the contracted cluster graph must match, and
+    both must exhaust retries on the same inputs.
+    """
+    from repro.apsp.clustering import (
+        _reference_attempt,
+        build_clustering,
+        center_sampling_probability,
+    )
+    from repro.util.errors import ValidationError
+
+    max_tries = 20  # passed explicitly so replay and builder stay locked
+    try:
+        cl = build_clustering(graph, c=c, seed=seed, max_tries=max_tries)
+    except ValidationError:
+        cl = None
+    rng = ensure_rng(seed)
+    p = center_sampling_probability(graph.n, graph.min_degree(), c)
+    ref = None
+    for _ in range(max_tries):
+        is_center = rng.random(graph.n) < p
+        if not is_center.any():
+            continue
+        ref = _reference_attempt(graph, is_center)
+        if ref is not None:
+            break
+    if (cl is None) != (ref is None):
+        return ["clustering: port and reference disagree on retry exhaustion"]
+    if cl is None:
+        return []
+    out = []
+    centers, s, cluster_graph = ref
+    if centers != cl.centers:
+        out.append("clustering: centers differ")
+    if not np.array_equal(s, cl.s):
+        out.append("clustering: cluster assignments differ")
+    if cluster_graph != cl.cluster_graph:
+        out.append("clustering: cluster graphs differ")
+    if cl.rounds != 1:
+        out.append(f"clustering: rounds {cl.rounds} != 1")
+    return out
+
+
+def _diff_graph(a: Graph, b: Graph, label: str) -> list[str]:
+    out = []
+    if a != b:
+        out.append(f"{label}: edge sets differ")
+    if (a.weights is None) != (b.weights is None) or (
+        a.weights is not None and not np.array_equal(a.weights, b.weights)
+    ):
+        out.append(f"{label}: weights differ")
+    return out
+
+
+def check_spanner(graph: Graph, k: int, seed) -> list[str]:
+    """[BS07] spanner: per-node rules vs whole-array twin, same coins."""
+    from repro.apsp.spanner import baswana_sen_spanner
+
+    sim = baswana_sen_spanner(graph, k, seed=seed, backend="simulator")
+    vec = baswana_sen_spanner(graph, k, seed=seed, backend="vectorized")
+    out = []
+    if not np.array_equal(sim.edge_ids, vec.edge_ids):
+        out.append(f"spanner(k={k}): edge id sets differ")
+    out.extend(_diff_graph(sim.spanner, vec.spanner, f"spanner(k={k})"))
+    if sim.charged_rounds != vec.charged_rounds:
+        out.append(f"spanner(k={k}): charged rounds differ")
+    return out
+
+
+def check_sparsifier(
+    graph: Graph, eps: float, seed, tau: int | None = None
+) -> list[str]:
+    """Koutis–Xu sparsifier: both backends through the whole level loop."""
+    from repro.cuts.sparsifier import koutis_xu_sparsifier
+
+    sim = koutis_xu_sparsifier(graph, eps, seed=seed, tau=tau, backend="simulator")
+    vec = koutis_xu_sparsifier(graph, eps, seed=seed, tau=tau, backend="vectorized")
+    out = _diff_graph(sim.sparsifier, vec.sparsifier, "sparsifier")
+    if sim.levels != vec.levels:
+        out.append(f"sparsifier: levels {sim.levels} != {vec.levels}")
+    if sim.charged_rounds != vec.charged_rounds:
+        out.append("sparsifier: charged rounds differ")
+    if sim.bundle_sizes != vec.bundle_sizes:
+        out.append("sparsifier: bundle sizes differ")
+    return out
+
+
+def _diff_ledgers(sim, vec, label: str) -> list[str]:
+    out = []
+    if sim.simulated_rounds != vec.simulated_rounds:
+        out.append(
+            f"{label}: simulated rounds {sim.simulated_rounds} != "
+            f"{vec.simulated_rounds}"
+        )
+    if sim.charged_rounds != vec.charged_rounds:
+        out.append(
+            f"{label}: charged rounds {sim.charged_rounds} != {vec.charged_rounds}"
+        )
+    if not np.array_equal(sim.estimate, vec.estimate):
+        out.append(f"{label}: estimates differ")
+    return out
+
+
+def check_apsp_pipeline(graph: Graph, seed, lam: int | None = None) -> list[str]:
+    """Theorem 4 end to end: estimates + full round ledgers, both backends.
+
+    The w.h.p. events (clustering coverage, Theorem 2 packing) may
+    legitimately fail on tiny random hosts; both backends must then fail
+    with the same error.
+    """
+    from repro.apsp.unweighted import approx_apsp_unweighted
+    from repro.util.errors import ValidationError
+
+    def attempt(backend):
+        try:
+            return (
+                approx_apsp_unweighted(
+                    graph, lam=lam, C=1.5, seed=seed, backend=backend
+                ),
+                None,
+            )
+        except ValidationError as err:
+            return None, str(err)
+
+    sim, esim = attempt("simulator")
+    vec, evec = attempt("vectorized")
+    if (sim is None) != (vec is None) or (sim is None and esim != evec):
+        return [f"apsp: backends disagree on failure (sim={esim!r}, vec={evec!r})"]
+    if sim is None:
+        return []
+    out = _diff_ledgers(sim, vec, "apsp")
+    if sim.clustering.centers != vec.clustering.centers or not np.array_equal(
+        sim.clustering.s, vec.clustering.s
+    ):
+        out.append("apsp: clusterings differ")
+    return out
+
+
+def check_cuts_pipeline(
+    graph: Graph, eps: float, seed, lam: int | None = None, tau: int | None = None
+) -> list[str]:
+    """Theorem 7 end to end: sparsifier + ledgers, both backends."""
+    from repro.cuts.approx import approx_all_cuts
+    from repro.util.errors import ValidationError
+
+    def attempt(backend):
+        try:
+            return (
+                approx_all_cuts(
+                    graph, eps=eps, lam=lam, C=1.5, seed=seed, tau=tau,
+                    backend=backend,
+                ),
+                None,
+            )
+        except ValidationError as err:
+            return None, str(err)
+
+    sim, esim = attempt("simulator")
+    vec, evec = attempt("vectorized")
+    if (sim is None) != (vec is None) or (sim is None and esim != evec):
+        return [f"cuts: backends disagree on failure (sim={esim!r}, vec={evec!r})"]
+    if sim is None:
+        return []
+    out = _diff_graph(
+        sim.sparsifier.sparsifier, vec.sparsifier.sparsifier, "cuts"
+    )
+    if sim.simulated_rounds != vec.simulated_rounds:
+        out.append("cuts: simulated rounds differ")
+    if sim.charged_rounds != vec.charged_rounds:
+        out.append("cuts: charged rounds differ")
+    return out
+
+
 @dataclass
 class EquivalenceReport:
     """Outcome of one randomized equivalence sweep."""
@@ -237,12 +419,15 @@ def verify_equivalence(
     trials: int = 10, seed: int = 0, max_n: int = 24
 ) -> EquivalenceReport:
     """Randomized sweep of all checks; returns an :class:`EquivalenceReport`."""
+    from repro.graphs.generators import random_weights
+
     rng = ensure_rng(seed)
     report = EquivalenceReport()
     for t in range(trials):
         n = int(rng.integers(2, max_n + 1))
         extra = int(rng.integers(0, max(1, n)))
         g = random_connected_graph(n, extra, seed=1000 * seed + t)
+        gw = random_weights(g, seed=1500 * seed + t) if t % 2 else g
         root = int(rng.integers(n))
         parts = int(rng.integers(1, 4))
         masks = random_edge_masks(g, parts, seed=2000 * seed + t)
@@ -254,6 +439,11 @@ def verify_equivalence(
             check_leader(g),
             check_numbering(g, rng.integers(0, 4, size=g.n)),
             check_tree_broadcast(g, masks, k, seed=3000 * seed + t, roots=[root] * parts),
+            check_clustering(g, seed=4000 * seed + t),
+            check_spanner(gw, 2 + t % 3, seed=5000 * seed + t),
+            check_sparsifier(gw, eps=0.5, seed=6000 * seed + t, tau=2),
+            check_apsp_pipeline(g, seed=7000 * seed + t),
+            check_cuts_pipeline(g, eps=0.5, seed=8000 * seed + t, tau=2),
         ):
             report.checks += 1
             report.mismatches.extend(f"[trial {t}, n={n}] {m}" for m in mismatches)

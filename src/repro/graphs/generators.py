@@ -224,15 +224,21 @@ def thick_cycle(groups: int, group_size: int) -> Graph:
     if group_size < 1:
         raise ValidationError("group_size must be >= 1")
     n = groups * group_size
-    edges = []
-    for gidx in range(groups):
-        nxt = (gidx + 1) % groups
-        for a in range(group_size):
-            for b in range(group_size):
-                u = gidx * group_size + a
-                v = nxt * group_size + b
-                edges.append((min(u, v), max(u, v)))
-    return Graph(n, sorted(set(edges)))
+    # One vectorized sweep builds all groups·size² inter-group pairs; the
+    # canonical (min, max) + lexsort reproduces the edge order (and hence the
+    # edge ids) of the original sorted(set(...)) Python loop exactly.
+    gidx = np.arange(groups, dtype=np.int64)
+    a, b = np.meshgrid(
+        np.arange(group_size, dtype=np.int64),
+        np.arange(group_size, dtype=np.int64),
+        indexing="ij",
+    )
+    raw_u = (gidx[:, None, None] * group_size + a[None]).ravel()
+    raw_v = (((gidx + 1) % groups)[:, None, None] * group_size + b[None]).ravel()
+    u = np.minimum(raw_u, raw_v)
+    v = np.maximum(raw_u, raw_v)
+    order = np.lexsort((v, u))
+    return Graph(n, np.stack([u[order], v[order]], axis=1))
 
 
 def barbell(clique_size: int, bridge_len: int = 1) -> Graph:

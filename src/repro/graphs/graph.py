@@ -29,6 +29,10 @@ from repro.util.errors import ValidationError
 
 __all__ = ["Graph"]
 
+# Masked-CSR cache bound: oldest entries are evicted FIFO past this many
+# masks, which comfortably covers one decomposition's λ' classes.
+_MASKED_CSR_CACHE_LIMIT = 64
+
 
 class Graph:
     """An undirected simple graph on nodes ``0..n-1`` with optional weights.
@@ -55,6 +59,9 @@ class Graph:
         "_indices",
         "_adj_edge_id",
         "_arc_keys",
+        "_arc_sources",
+        "_masked_csr_cache",
+        "masked_csr_hits",
     )
 
     def __init__(
@@ -65,7 +72,10 @@ class Graph:
     ):
         if n < 1:
             raise ValidationError(f"graph needs at least one node, got n={n}")
-        edge_arr = np.asarray(list(edges), dtype=np.int64)
+        if isinstance(edges, np.ndarray):
+            edge_arr = edges.astype(np.int64, copy=False)
+        else:
+            edge_arr = np.asarray(list(edges), dtype=np.int64)
         if edge_arr.size == 0:
             edge_arr = edge_arr.reshape(0, 2)
         if edge_arr.ndim != 2 or edge_arr.shape[1] != 2:
@@ -77,7 +87,8 @@ class Graph:
         if np.any(u == v):
             raise ValidationError("self-loops are not allowed in a simple graph")
         key = u * n + v
-        if len(np.unique(key)) != len(key):
+        key_sorted = np.sort(key)
+        if np.any(key_sorted[1:] == key_sorted[:-1]):
             raise ValidationError("parallel edges are not allowed in a simple graph")
 
         self.n = int(n)
@@ -103,7 +114,9 @@ class Graph:
         rows = np.concatenate([u, v])
         cols = np.concatenate([v, u])
         eids = np.concatenate([np.arange(self.m), np.arange(self.m)])
-        order = np.lexsort((cols, rows))
+        # Arc keys row·n + col are unique (simple graph), so one flat argsort
+        # equals the (rows, cols) lexsort at roughly half the cost.
+        order = np.argsort(rows * np.int64(n) + cols)
         self._indices = cols[order]
         self._adj_edge_id = eids[order]
         deg = np.bincount(rows, minlength=self.n)
@@ -111,6 +124,9 @@ class Graph:
         np.cumsum(deg, out=indptr[1:])
         self._indptr = indptr
         self._arc_keys = None  # lazy: sorted (u·n + v) keys of directed arcs
+        self._arc_sources = None  # lazy: source node of each directed arc
+        self._masked_csr_cache: dict[bytes, tuple[np.ndarray, np.ndarray]] = {}
+        self.masked_csr_hits = 0  # cache-hit counter (observable by tests)
 
     # ------------------------------------------------------------------ #
     # basic queries
@@ -162,6 +178,19 @@ class Graph:
             raise KeyError(f"no edge {{{u}, {v}}}")
         return int(self.incident_edge_ids(u)[i])
 
+    def arc_sources(self) -> np.ndarray:
+        """Source node of each directed arc, aligned with the CSR arrays.
+
+        ``arc_sources()[i]`` is the node whose adjacency block position
+        ``i`` falls in — i.e. ``repeat(arange(n), degrees)`` — memoized
+        because every whole-array sweep over the adjacency needs it.
+        """
+        if self._arc_sources is None:
+            self._arc_sources = np.repeat(
+                np.arange(self.n), np.diff(self._indptr)
+            )
+        return self._arc_sources
+
     def edge_ids_for_pairs(self, us, vs) -> np.ndarray:
         """Vectorized :meth:`edge_id` over aligned endpoint arrays.
 
@@ -178,8 +207,7 @@ class Graph:
         if us.min() < 0 or vs.min() < 0 or us.max() >= self.n or vs.max() >= self.n:
             raise KeyError("edge endpoint out of range")
         if self._arc_keys is None:
-            rows = np.repeat(np.arange(self.n), np.diff(self._indptr))
-            self._arc_keys = rows * self.n + self._indices
+            self._arc_keys = self.arc_sources() * self.n + self._indices
         keys = us * self.n + vs
         pos = np.searchsorted(self._arc_keys, keys)
         pos_clipped = np.minimum(pos, self._arc_keys.size - 1)
@@ -188,6 +216,50 @@ class Graph:
             i = int(np.nonzero(missing)[0][0])
             raise KeyError(f"no edge {{{int(us[i])}, {int(vs[i])}}}")
         return self._adj_edge_id[pos]
+
+    def masked_csr(
+        self, edge_mask: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """CSR ``(indptr, indices)`` of the subgraph keeping only masked edges.
+
+        Neighbor order inside each block is preserved (sorted by id), so the
+        smallest-port tie-break of the CONGEST layer survives the filtering.
+        Results are **memoized per (graph, mask) pair**: protocols that
+        repeatedly traverse the same decomposition (parallel BFS channels,
+        packing validation, both-backend equivalence sweeps) get the arrays
+        back without rebuilding them. Keys are bit-packed (m/8 bytes) and
+        the cache holds the most recent ``_MASKED_CSR_CACHE_LIMIT`` masks —
+        a decomposition has at most λ' ≲ a few dozen classes, so the working
+        set always fits while one-shot masks (packing retries, λ-search
+        guesses) cannot pin memory forever. ``masked_csr_hits`` counts
+        cache hits. ``edge_mask=None`` returns the full adjacency (never
+        copied).
+        """
+        if edge_mask is None:
+            return self._indptr, self._indices
+        mask = np.asarray(edge_mask, dtype=bool)
+        if mask.shape != (self.m,):
+            raise ValidationError(
+                f"edge mask shape {mask.shape} does not match m={self.m}"
+            )
+        key = np.packbits(mask).tobytes()
+        hit = self._masked_csr_cache.get(key)
+        if hit is not None:
+            self.masked_csr_hits += 1
+            return hit
+        allowed = mask[self._adj_edge_id]
+        indices = self._indices[allowed]
+        counts = np.bincount(self.arc_sources()[allowed], minlength=self.n)
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        while len(self._masked_csr_cache) >= _MASKED_CSR_CACHE_LIMIT:
+            self._masked_csr_cache.pop(next(iter(self._masked_csr_cache)))
+        # The same arrays are handed to every caller: freeze them so an
+        # in-place edit cannot silently corrupt the cache.
+        indptr.setflags(write=False)
+        indices.setflags(write=False)
+        self._masked_csr_cache[key] = (indptr, indices)
+        return indptr, indices
 
     def edges(self) -> Iterator[tuple[int, int]]:
         """Iterate undirected edges as ``(u, v)`` with ``u < v``."""

@@ -19,17 +19,22 @@ from repro.core.tree_packing import build_tree_packing
 from repro.engine import BACKENDS, validate_backend
 from repro.engine.fastpath import vectorized_tree_broadcast
 from repro.engine.verify import (
+    check_apsp_pipeline,
     check_bfs,
     check_broadcast_pipeline,
+    check_clustering,
+    check_cuts_pipeline,
     check_leader,
     check_numbering,
     check_parallel_bfs,
+    check_spanner,
+    check_sparsifier,
     check_tree_broadcast,
     random_connected_graph,
     random_edge_masks,
     verify_equivalence,
 )
-from repro.graphs import path_of_cliques, thick_cycle
+from repro.graphs import Graph, path_of_cliques, random_weights, thick_cycle
 from repro.primitives.bfs import run_bfs, run_parallel_bfs
 from repro.util.errors import BandwidthExceeded, ValidationError
 
@@ -187,8 +192,141 @@ class TestEndToEndBroadcast:
         assert res.rounds == sum(res.phases.values())
 
 
+class TestPipelineTwins:
+    """APSP + cut-sparsifier vectorized paths: bit-identical to the loops."""
+
+    @_SETTINGS
+    @given(
+        n=st.integers(6, 24),
+        extra=st.integers(4, 30),
+        seed=st.integers(0, 10_000),
+    )
+    def test_clustering_port_matches_reference(self, n, extra, seed):
+        g = random_connected_graph(n, extra, seed=seed)
+        assert check_clustering(g, seed=seed + 1) == []
+
+    @_SETTINGS
+    @given(
+        n=st.integers(2, 24),
+        extra=st.integers(0, 30),
+        seed=st.integers(0, 10_000),
+        k=st.integers(2, 4),
+        weighted=st.booleans(),
+    )
+    def test_spanner_backends_identical(self, n, extra, seed, k, weighted):
+        g = random_connected_graph(n, extra, seed=seed)
+        if weighted:
+            g = random_weights(g, seed=seed + 1)
+        assert check_spanner(g, k, seed=seed + 2) == []
+
+    @_SETTINGS
+    @given(
+        n=st.integers(4, 20),
+        extra=st.integers(10, 40),
+        seed=st.integers(0, 10_000),
+        weighted=st.booleans(),
+    )
+    def test_sparsifier_backends_identical(self, n, extra, seed, weighted):
+        g = random_connected_graph(n, extra, seed=seed)
+        if weighted:
+            g = random_weights(g, seed=seed + 1)
+        assert check_sparsifier(g, eps=0.5, seed=seed + 2, tau=2) == []
+
+    def test_apsp_pipeline_ledgers_match(self):
+        g = thick_cycle(8, 6)
+        assert check_apsp_pipeline(g, seed=5, lam=12) == []
+
+    def test_cuts_pipeline_ledgers_match(self):
+        g = thick_cycle(8, 6)
+        assert check_cuts_pipeline(g, eps=0.4, seed=6, lam=12, tau=2) == []
+
+    @_SETTINGS
+    @given(seed=st.integers(0, 10_000))
+    def test_random_apsp_and_cuts_pipelines(self, seed):
+        g = random_connected_graph(10 + seed % 8, 20, seed=seed)
+        assert check_apsp_pipeline(g, seed=seed + 1) == []
+        assert check_cuts_pipeline(g, eps=0.5, seed=seed + 2, tau=2) == []
+
+
+class TestAwkwardInputs:
+    """The inputs the randomized sweep rarely produces (ISSUE 2 satellite)."""
+
+    def test_disconnected_graph_bfs(self):
+        g = Graph(7, [(0, 1), (1, 2), (3, 4), (5, 6)])
+        assert check_bfs(g, 0) == []
+        assert check_bfs(g, 3) == []
+
+    def test_disconnected_graph_spanner(self):
+        g = Graph(6, [(0, 1), (0, 2), (1, 2), (3, 4)])
+        assert check_spanner(g, 2, seed=3) == []
+        assert check_spanner(g, 3, seed=4) == []
+
+    def test_weighted_graph_bfs_ignores_weights(self):
+        g = random_weights(thick_cycle(5, 3), seed=2)
+        assert check_bfs(g, 4) == []
+        masks = random_edge_masks(g, 2, seed=3)
+        assert check_parallel_bfs(g, masks) == []
+
+    def test_weighted_sparsifier_weighted_host(self):
+        g = random_weights(random_connected_graph(14, 40, seed=9), seed=10)
+        assert check_sparsifier(g, eps=0.5, seed=11, tau=2) == []
+
+    def test_single_node_graph_everywhere(self):
+        g = Graph(1, [])
+        assert check_bfs(g, 0) == []
+        assert check_spanner(g, 2, seed=1) == []
+        assert check_sparsifier(g, eps=0.5, seed=2, tau=1) == []
+        # Pipelined broadcast degenerates to the root popping its own queue.
+        tree = run_bfs(g, 0, backend="vectorized")
+        out = vectorized_tree_broadcast(g, {0: tree}, {0: {0: [1, 2, 3]}})
+        assert out.rounds == 2 and out.k_total == 3
+
+    def test_all_masked_edge_set(self):
+        g = thick_cycle(5, 3)
+        empty = np.zeros(g.m, dtype=bool)
+        assert check_bfs(g, 0, edge_mask=empty) == []
+        assert check_parallel_bfs(g, [empty, empty.copy()]) == []
+
+    def test_full_mask_equals_unmasked(self):
+        g = thick_cycle(5, 3)
+        full = np.ones(g.m, dtype=bool)
+        a = run_bfs(g, 2, edge_mask=full, backend="vectorized")
+        b = run_bfs(g, 2, backend="vectorized")
+        assert np.array_equal(a.parent, b.parent) and a.rounds == b.rounds
+
+
+class TestMaskedCSRMemoization:
+    def test_cache_hit_on_repeated_mask(self):
+        g = thick_cycle(6, 4)
+        mask = random_edge_masks(g, 2, seed=1)[0]
+        indptr1, indices1 = g.masked_csr(mask)
+        assert g.masked_csr_hits == 0
+        indptr2, indices2 = g.masked_csr(mask.copy())  # equal content, new array
+        assert g.masked_csr_hits == 1
+        assert indptr1 is indptr2 and indices1 is indices2
+        # A different mask is a different cache entry, not a stale hit.
+        other = ~mask
+        indptr3, _ = g.masked_csr(other)
+        assert g.masked_csr_hits == 1
+        assert not np.array_equal(indptr1, indptr3)
+
+    def test_parallel_bfs_reuses_cached_csr(self):
+        g = thick_cycle(6, 4)
+        masks = random_edge_masks(g, 3, seed=2)
+        run_parallel_bfs(g, masks, backend="vectorized")
+        before = g.masked_csr_hits
+        run_parallel_bfs(g, masks, backend="vectorized")
+        assert g.masked_csr_hits == before + len(masks)
+
+    def test_none_mask_is_not_cached_copy(self):
+        g = thick_cycle(6, 4)
+        indptr, indices = g.masked_csr(None)
+        assert indptr is g._indptr and indices is g._indices
+        assert g.masked_csr_hits == 0
+
+
 class TestHarnessSweep:
     def test_randomized_sweep_is_clean(self):
         report = verify_equivalence(trials=6, seed=11, max_n=20)
-        assert report.checks == 6 * 6
+        assert report.checks == 6 * 11
         assert report.ok, report.mismatches
