@@ -1,0 +1,242 @@
+"""E16 — resilience at scale: coverage vs redundancy vs adversary budget.
+
+The Section 1.2 story (tree packings feed the Fischer–Parter resilient
+compilers) was previously demonstrated only at simulator scale (n ≈ 100,
+``tests/test_resilience.py``). The fault-aware vectorized engine
+(:mod:`repro.engine.faults`) replays the same executions — bit-identical
+receipts, drops, rounds, and fault RNG stream — at four orders of magnitude
+more nodes, which opens the scenario-diversity axis:
+
+* **E16a — adversary sweep at n = 10⁴**: every scenario class of
+  :mod:`repro.congest.adversary` × redundancy r ∈ {1, 2}; the
+  ``core.resilient`` coverage separation (r = 1 loses exactly the sabotaged
+  tree's k/parts messages, r = 2 recovers everything) must reproduce at
+  this scale.
+* **E16b — budget sweep**: min-coverage as a function of the mobile
+  adversary's per-round edge budget and redundancy — the redundancy/budget
+  trade-off surface.
+* **E16c — backend cross-check at n = 10⁴**: one scenario run on both
+  backends; reports must be identical and the vectorized engine ≥ 20×
+  faster wall-clock.
+* **E16d — vectorized-only scale-up to n = 10⁵**: the separation again, at
+  a size the simulator never reached.
+
+Wall clocks and speedups are merged into ``BENCH_E13.json``
+(:func:`benchmarks.conftest.write_bench_artifact`); CI uploads the file and
+``benchmarks/compare_bench.py`` gates cross-PR regressions.
+
+Set ``E16_QUICK=1`` for the CI smoke: a small host, both backends, report
+equality and the coverage separation asserted, no timing assertions.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import run_once, write_bench_artifact
+from repro.congest import MobileAdversary, RandomLoss, StaticSaboteur
+from repro.core import (
+    build_packing_with_retry,
+    redundant_broadcast,
+    tree_edge_ids,
+    uniform_random_placement,
+)
+from repro.graphs import thick_cycle
+from repro.util.tables import Table
+
+
+def _setup(groups: int, size: int, k: int, parts: int, seed: int = 2):
+    g = thick_cycle(groups, size)
+    packing, _ = build_packing_with_retry(
+        g, parts, seed=seed, distributed=False, backend="vectorized"
+    )
+    placement = uniform_random_placement(g.n, k, seed=seed + 1)
+    return g, packing, placement
+
+
+def _report_fields(rep):
+    return (
+        rep.rounds,
+        rep.dropped_messages,
+        rep.fully_delivered,
+        rep.per_message_coverage,
+    )
+
+
+def _assert_separation(g, packing, placement, k, parts, backend="vectorized"):
+    """The core.resilient separation: r=1 loses the dead tree's k/parts
+    messages exactly; r=2 delivers everything through the dead class."""
+    dead = tree_edge_ids(packing, 0)
+    r1 = redundant_broadcast(
+        g, placement, packing, redundancy=1, dead_edges=dead, backend=backend
+    )
+    r2 = redundant_broadcast(
+        g, placement, packing, redundancy=2, dead_edges=dead, backend=backend
+    )
+    assert r1.fully_delivered == k - k // parts, (r1.fully_delivered, k, parts)
+    assert r1.min_coverage < 1.0
+    assert r2.fully_delivered == k and r2.min_coverage == 1.0
+    return r1, r2
+
+
+def run_quick():
+    """CI smoke: small host, both backends, bit-identical reports."""
+    parts, k = 3, 60
+    g, packing, placement = _setup(groups=10, size=10, k=k, parts=parts)
+    out = {}
+    for backend in ("simulator", "vectorized"):
+        t0 = time.perf_counter()
+        r1, r2 = _assert_separation(g, packing, placement, k, parts, backend)
+        lossy = redundant_broadcast(
+            g, placement, packing, redundancy=2, drop_rate=0.02,
+            fault_seed=7, backend=backend,
+        )
+        out[backend] = (r1, r2, lossy, time.perf_counter() - t0)
+    for i in range(3):
+        assert _report_fields(out["simulator"][i]) == _report_fields(
+            out["vectorized"][i]
+        ), f"backend drift in quick scenario {i}"
+    assert (
+        out["simulator"][2].fault_rng_state == out["vectorized"][2].fault_rng_state
+    ), "fault RNG streams diverged"
+    write_bench_artifact(
+        "e16_quick",
+        {
+            "n": g.n,
+            "k": k,
+            "sim_seconds": round(out["simulator"][3], 4),
+            "vec_seconds": round(out["vectorized"][3], 4),
+        },
+    )
+    return out
+
+
+def run_experiment():
+    artifact: dict[str, object] = {}
+
+    # ---- E16a: adversary sweep at n = 10⁴ (vectorized) ------------------- #
+    parts, k = 4, 200
+    g, packing, placement = _setup(groups=500, size=20, k=k, parts=parts)
+    n = g.n
+    assert n >= 10_000
+    dead = tree_edge_ids(packing, 0)
+    scenarios = {
+        "none": dict(),
+        "dead-tree": dict(dead_edges=dead),
+        "mobile(b=32)": dict(
+            adversary=MobileAdversary.sweeping(sorted(dead), budget=32, rounds=4000)
+        ),
+        "loss(0.5%)": dict(drop_rate=0.005, fault_seed=5),
+    }
+    ta = Table(
+        ["scenario", "r", "rounds", "dropped", "full", "min_cov", "seconds"],
+        title=f"E16a — adversary sweep (n={n}, k={k}, {parts} trees, vectorized)",
+    )
+    rows_a = []
+    for name, kwargs in scenarios.items():
+        for r in (1, 2):
+            t0 = time.perf_counter()
+            rep = redundant_broadcast(
+                g, placement, packing, redundancy=r, backend="vectorized", **kwargs
+            )
+            secs = time.perf_counter() - t0
+            ta.add_row([
+                name, r, rep.rounds, rep.dropped_messages,
+                f"{rep.fully_delivered}/{k}", round(rep.min_coverage, 3),
+                round(secs, 2),
+            ])
+            rows_a.append({
+                "scenario": name, "redundancy": r, "rounds": rep.rounds,
+                "dropped": rep.dropped_messages,
+                "fully_delivered": rep.fully_delivered,
+                "min_coverage": round(rep.min_coverage, 4),
+                "seconds": round(secs, 3),
+            })
+    ta.print()
+    _assert_separation(g, packing, placement, k, parts)
+    artifact["n"] = n
+    artifact["k"] = k
+    artifact["adversary_sweep"] = rows_a
+
+    # ---- E16b: budget sweep (mobile adversary) × redundancy -------------- #
+    tb = Table(
+        ["budget"] + [f"min_cov r={r}" for r in (1, 2, 3)],
+        title=f"E16b — mobile budget vs redundancy (n={n}, k={k})",
+    )
+    pool = sorted(dead | tree_edge_ids(packing, 1))
+    rows_b = []
+    for budget in (8, 64, 512):
+        row = {"budget": budget}
+        covs = []
+        for r in (1, 2, 3):
+            adv = MobileAdversary.sweeping(pool, budget=budget, rounds=6000)
+            rep = redundant_broadcast(
+                g, placement, packing, redundancy=r, adversary=adv,
+                backend="vectorized",
+            )
+            covs.append(round(rep.min_coverage, 4))
+            row[f"r{r}"] = covs[-1]
+        tb.add_row([budget] + covs)
+        rows_b.append(row)
+    tb.print()
+    # Shape: more redundancy never hurts; the biggest budget hurts r=1 most.
+    for row in rows_b:
+        assert row["r3"] >= row["r1"] - 1e-9
+    assert rows_b[-1]["r1"] <= rows_b[0]["r1"] + 1e-9
+    artifact["budget_sweep"] = rows_b
+
+    # ---- E16c: backend cross-check + speedup at n = 10⁴ ------------------ #
+    kc = 60
+    placement_c = uniform_random_placement(n, kc, seed=9)
+    out = {}
+    for backend in ("simulator", "vectorized"):
+        t0 = time.perf_counter()
+        rep = redundant_broadcast(
+            g, placement_c, packing, redundancy=2, dead_edges=dead,
+            drop_rate=0.001, fault_seed=3, backend=backend,
+        )
+        out[backend] = (rep, time.perf_counter() - t0)
+    sim, vec = out["simulator"], out["vectorized"]
+    assert _report_fields(sim[0]) == _report_fields(vec[0]), "backend drift at n=1e4"
+    assert sim[0].fault_rng_state == vec[0].fault_rng_state
+    speedup = sim[1] / vec[1]
+    print(
+        f"E16c backend cross-check (n={n}, k={kc}): sim {sim[1]:.1f}s, "
+        f"vec {vec[1]:.2f}s — {speedup:.0f}x"
+    )
+    assert speedup >= 20.0, f"vectorized fault engine only {speedup:.1f}x"
+    artifact["e16c"] = {
+        "n": n, "k": kc, "sim_seconds": round(sim[1], 3),
+        "vec_seconds": round(vec[1], 3), "speedup": round(speedup, 1),
+    }
+
+    # ---- E16d: vectorized-only scale-up to n = 10⁵ ----------------------- #
+    parts_d, kd = 4, 100
+    gd, packing_d, placement_d = _setup(groups=2500, size=40, k=kd, parts=parts_d)
+    assert gd.n >= 100_000
+    t0 = time.perf_counter()
+    r1, r2 = _assert_separation(gd, packing_d, placement_d, kd, parts_d)
+    secs = time.perf_counter() - t0
+    print(
+        f"E16d — n={gd.n}: r=1 delivers {r1.fully_delivered}/{kd}, "
+        f"r=2 delivers {r2.fully_delivered}/{kd} through a dead tree "
+        f"({r1.rounds}/{r2.rounds} rounds; both runs in {secs:.1f}s)"
+    )
+    artifact["e16d"] = {
+        "n": gd.n, "k": kd,
+        "r1_fully_delivered": r1.fully_delivered,
+        "r2_fully_delivered": r2.fully_delivered,
+        "r1_rounds": r1.rounds, "r2_rounds": r2.rounds,
+        "seconds": round(secs, 2),
+    }
+
+    write_bench_artifact("e16", artifact)
+    return artifact
+
+
+def test_e16_resilience(benchmark):
+    if os.environ.get("E16_QUICK") == "1":
+        run_once(benchmark, run_quick)
+    else:
+        run_once(benchmark, run_experiment)

@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Cross-PR perf regression gate over BENCH_E13.json (ROADMAP open item).
+
+Usage::
+
+    python benchmarks/compare_bench.py --old prev/BENCH_E13.json \
+        [--new BENCH_E13.json] [--threshold 2.0] [--min-seconds 0.05]
+
+Walks both artifacts, collects every numeric leaf whose key ends in
+``seconds`` (the wall clocks E6/E8/E13/E16 record), and fails (exit 1) when
+the current value exceeds ``threshold ×`` the previous one for any pipeline
+measured in both files. Timings under ``--min-seconds`` in the old artifact
+are skipped — at the sub-50 ms scale a 2× "regression" is scheduler noise,
+not a pipeline change. New sections (pipelines the previous PR didn't
+measure) are reported informationally, never failed.
+
+A missing ``--old`` file exits 0 with a notice: the first PR after the gate
+lands, and any PR whose CI cannot fetch the previous artifact, should not
+fail on bootstrap. CI wires this after downloading the prior run's
+``bench-e13-*`` artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+_IDENTITY_KEYS = ("scenario", "budget", "n", "k", "lam", "redundancy")
+
+
+def _entry_label(value, index: int) -> str:
+    """Stable label for a list entry: identifying fields when present, so
+    reordering/inserting benchmark rows across PRs never pairs up timings
+    of *different* scenarios; positional index only as a last resort."""
+    if isinstance(value, dict):
+        ident = [
+            f"{key}={value[key]}"
+            for key in _IDENTITY_KEYS
+            if isinstance(value.get(key), (str, int))
+        ]
+        if ident:
+            return f"[{','.join(ident)}]"
+    return f"[{index}]"
+
+
+def walk_seconds(node, prefix: str = "") -> dict[str, float]:
+    """Flatten ``{path: value}`` for every numeric leaf keyed ``*seconds``."""
+    out: dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, (int, float)) and str(key).endswith("seconds"):
+                out[path] = float(value)
+            else:
+                out.update(walk_seconds(value, path))
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            out.update(walk_seconds(value, f"{prefix}{_entry_label(value, i)}"))
+    return out
+
+
+def compare(
+    old: dict, new: dict, threshold: float, min_seconds: float
+) -> tuple[list[str], list[str]]:
+    """Returns (regressions, notes); regressions non-empty = gate fails."""
+    old_secs = walk_seconds(old)
+    new_secs = walk_seconds(new)
+    regressions: list[str] = []
+    notes: list[str] = []
+    for path, before in sorted(old_secs.items()):
+        after = new_secs.get(path)
+        if after is None:
+            notes.append(f"dropped: {path} (was {before:.3f}s)")
+            continue
+        # A regression must clear the ratio gate AND grow by a real absolute
+        # amount — sub-min_seconds deltas on tiny timings are scheduler
+        # noise, but a tiny timing blowing up past the floor still fails.
+        if (after - before) < min_seconds:
+            continue
+        if after > threshold * max(before, 1e-9):
+            regressions.append(
+                f"{path}: {before:.3f}s -> {after:.3f}s "
+                f"({after / max(before, 1e-9):.1f}x > {threshold:.1f}x gate)"
+            )
+    for path in sorted(set(new_secs) - set(old_secs)):
+        notes.append(f"new: {path} = {new_secs[path]:.3f}s")
+    return regressions, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--old", required=True, help="previous CI artifact")
+    parser.add_argument(
+        "--new",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_E13.json"),
+        help="current artifact (default: repo BENCH_E13.json)",
+    )
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="fail when new > threshold * old (default 2.0)")
+    parser.add_argument("--min-seconds", type=float, default=0.05,
+                        help="ignore regressions growing less than this "
+                        "many absolute seconds (noise floor)")
+    args = parser.parse_args(argv)
+
+    old_path, new_path = Path(args.old), Path(args.new)
+    if not old_path.exists():
+        print(f"compare_bench: no previous artifact at {old_path}; skipping gate")
+        return 0
+    if not new_path.exists():
+        print(f"compare_bench: current artifact {new_path} missing", file=sys.stderr)
+        return 1
+    try:
+        old = json.loads(old_path.read_text())
+    except json.JSONDecodeError:
+        print(f"compare_bench: previous artifact {old_path} unreadable; skipping gate")
+        return 0
+    new = json.loads(new_path.read_text())
+
+    regressions, notes = compare(old, new, args.threshold, args.min_seconds)
+    for note in notes:
+        print(f"  note  {note}")
+    if regressions:
+        print(f"compare_bench: {len(regressions)} wall-clock regression(s):")
+        for reg in regressions:
+            print(f"  FAIL  {reg}")
+        return 1
+    print(
+        f"compare_bench: ok — {len(walk_seconds(new))} timings, none beyond "
+        f"{args.threshold:.1f}x of the previous artifact"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,9 @@ Gives the library a shell-usable surface for quick experiments:
   unknown-lambda) and print the certified per-phase round ledger,
 * ``packing``    — build and report a Theorem 2 tree packing,
 * ``apsp``       — the Theorem 4 or Theorem 5 distance pipeline,
-* ``cuts``       — the Theorem 7 all-cuts pipeline.
+* ``cuts``       — the Theorem 7 all-cuts pipeline,
+* ``resilience`` — a redundant broadcast under an adversary scenario
+  (Section 1.2 / FP23 flavor) with the per-message delivery report.
 
 Graph specs are ``family:key=value,...`` — e.g. ``reg:n=200,d=16,seed=1``,
 ``thick:groups=12,size=10``, ``hypercube:dim=8``, ``torus:rows=8,cols=9``,
@@ -180,6 +182,65 @@ def _cmd_cuts(args) -> int:
     return 0
 
 
+def _cmd_resilience(args) -> int:
+    from repro.congest import (
+        MobileAdversary,
+        RandomLoss,
+        StaticSaboteur,
+        TargetedCutAdversary,
+    )
+    from repro.core import (
+        build_packing_with_retry,
+        num_parts,
+        redundant_broadcast,
+        uniform_random_placement,
+    )
+
+    g = parse_graph_spec(args.graph)
+    lam = edge_connectivity(g)
+    parts = args.parts if args.parts else num_parts(lam, g.n, args.C)
+    packing, _ = build_packing_with_retry(
+        g, parts, seed=args.seed, distributed=False, backend=args.backend
+    )
+    placement = uniform_random_placement(g.n, args.k, seed=args.seed)
+
+    adversary = None
+    if args.adversary == "dead-tree":
+        adversary = StaticSaboteur(tree_index=args.tree)
+    elif args.adversary == "mobile":
+        adversary = MobileAdversary.sweeping(
+            range(g.m), budget=max(1, args.budget), rounds=args.mobile_rounds
+        )
+    elif args.adversary == "loss":
+        adversary = RandomLoss(args.drop_rate)
+    elif args.adversary == "targeted-cut":
+        adversary = TargetedCutAdversary(
+            eps=args.eps,
+            budget=args.budget or None,
+            seed=args.seed,
+            backend=args.backend,
+        )
+    rep = redundant_broadcast(
+        g,
+        placement,
+        packing,
+        redundancy=args.redundancy,
+        drop_rate=args.drop_rate if args.adversary != "loss" else 0.0,
+        adversary=adversary,
+        seed=args.seed,
+        fault_seed=args.fault_seed,
+        backend=args.backend,
+    )
+    print(f"adversary: {args.adversary}  redundancy: {rep.redundancy}")
+    print(f"backend: {args.backend}")
+    print(f"n={g.n} lambda={lam} trees={packing.size} k={rep.k}")
+    print(f"rounds: {rep.rounds}")
+    print(f"deliveries dropped: {rep.dropped_messages}")
+    print(f"fully delivered: {rep.fully_delivered}/{rep.k}")
+    print(f"min coverage: {rep.min_coverage:.2%}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -237,6 +298,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--eps", type=float, default=0.4)
     p.add_argument("--tau", type=int, default=3)
     p.set_defaults(fn=_cmd_cuts)
+
+    p = sub.add_parser(
+        "resilience",
+        help="redundant broadcast under an adversary (Section 1.2 / FP23)",
+    )
+    common(p)
+    backend_opt(p)
+    p.add_argument("-k", type=int, required=True, help="number of messages")
+    p.add_argument("--redundancy", "-r", type=int, default=1,
+                   help="trees carrying each message (1..#trees)")
+    p.add_argument(
+        "--adversary",
+        choices=["none", "dead-tree", "mobile", "loss", "targeted-cut"],
+        default="none",
+        help="scenario: kill one packed tree / sweeping round-scoped "
+        "adversary / i.i.d. loss at --drop-rate / kill the lightest "
+        "approximate cut found via Theorem 7",
+    )
+    p.add_argument("--tree", type=int, default=0,
+                   help="which packed tree the dead-tree saboteur kills")
+    p.add_argument("--budget", type=int, default=0,
+                   help="edge budget (mobile per-round / targeted-cut total)")
+    p.add_argument("--mobile-rounds", type=int, default=64,
+                   help="how many delivery rounds the mobile adversary acts")
+    p.add_argument("--drop-rate", type=float, default=0.0,
+                   help="i.i.d. per-delivery loss probability in [0, 1]")
+    p.add_argument("--eps", type=float, default=0.4,
+                   help="targeted-cut sparsifier accuracy")
+    p.add_argument("--parts", type=int, default=0,
+                   help="trees in the packing (0 = Theorem 2 default)")
+    p.add_argument("--fault-seed", type=int, default=None,
+                   help="fault-coin seed (defaults to --seed; independent "
+                   "of the protocol RNG)")
+    p.set_defaults(fn=_cmd_resilience)
 
     return parser
 

@@ -17,6 +17,15 @@ from repro.congest.network import Network
 from repro.congest.program import Context, NodeProgram
 from repro.congest.simulator import Simulator, SimulationResult
 from repro.congest.metrics import Metrics
+from repro.congest.adversary import (
+    AdversarySchedule,
+    FaultPlan,
+    MobileAdversary,
+    RandomLoss,
+    StaticSaboteur,
+    TargetedCutAdversary,
+    compose_schedules,
+)
 from repro.congest.faults import FaultySimulator
 
 __all__ = [
@@ -27,4 +36,11 @@ __all__ = [
     "SimulationResult",
     "Metrics",
     "FaultySimulator",
+    "AdversarySchedule",
+    "FaultPlan",
+    "MobileAdversary",
+    "RandomLoss",
+    "StaticSaboteur",
+    "TargetedCutAdversary",
+    "compose_schedules",
 ]

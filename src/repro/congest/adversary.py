@@ -1,0 +1,335 @@
+"""Composable adversary scenario library for resilience experiments.
+
+The paper's tree packing exists to feed resilient computation (Section 1.2,
+the Fischer–Parter [FP23] compiler); :mod:`repro.congest.faults` injects the
+failures and :func:`repro.core.resilient.redundant_broadcast` measures what
+redundancy buys back. This module names the *adversaries* themselves, so an
+experiment reads as "run scenario X at redundancy r" instead of hand-rolled
+edge sets:
+
+* :class:`StaticSaboteur` — a fixed set of dead links (a crashed switch, a
+  sabotaged packing color class via :func:`repro.core.resilient.tree_edge_ids`).
+* :class:`MobileAdversary` — the FP23 mobile-adversary shape: a round-scoped
+  ``round -> edge set`` schedule, with :meth:`MobileAdversary.sweeping` as a
+  convenience builder that rotates a budget of controlled edges over a pool.
+* :class:`RandomLoss` — i.i.d. per-message loss (a lossy network rather than
+  an adversary proper, but the standard baseline).
+* :class:`TargetedCutAdversary` — connects Theorem 7 back to Theorems 1/2:
+  the attacker runs :func:`repro.cuts.approx.approx_all_cuts`, estimates cut
+  values *from the sparsifier alone* (what a compromised node could actually
+  compute), and saboteurs the lightest cut it can afford — the worst place
+  to lose edges, since the cut's bandwidth is exactly what Theorem 1's
+  pipeline leans on.
+
+Every schedule compiles down to a :class:`FaultPlan` — the
+``(dead_edges, drop_rate, mobile)`` triple that both
+:class:`repro.congest.faults.FaultySimulator` and the vectorized fault
+engine (:mod:`repro.engine.faults`) consume, so one scenario definition
+drives both backends. Schedules compose with ``+`` (dead edges and mobile
+rounds union; independent loss rates combine as ``1 - prod(1 - p_i)``, which
+keeps the single-coin-per-message delivery semantics of the simulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.util.errors import ValidationError
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "FaultPlan",
+    "AdversarySchedule",
+    "StaticSaboteur",
+    "MobileAdversary",
+    "RandomLoss",
+    "TargetedCutAdversary",
+    "compose_schedules",
+]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A compiled fault scenario: exactly what the delivery hook checks.
+
+    ``dead_edges`` never deliver; ``mobile[r]`` are the adversary's edges in
+    (delivery) round ``r`` only; ``drop_rate`` is the i.i.d. per-message loss
+    probability, decided by one fault-RNG coin per surviving message in
+    delivery order — the contract both backends implement identically.
+    """
+
+    dead_edges: frozenset[int] = frozenset()
+    drop_rate: float = 0.0
+    mobile: Mapping[int, frozenset[int]] = field(default_factory=dict)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "dead_edges", frozenset(int(e) for e in self.dead_edges)
+        )
+        if not (0.0 <= self.drop_rate <= 1.0):
+            raise ValidationError("drop_rate must be in [0, 1]")
+        object.__setattr__(
+            self,
+            "mobile",
+            {
+                int(r): frozenset(int(e) for e in es)
+                for r, es in dict(self.mobile).items()
+            },
+        )
+
+    @property
+    def is_null(self) -> bool:
+        return not self.dead_edges and not self.mobile and self.drop_rate == 0.0
+
+    def validate_for(self, m: int) -> "FaultPlan":
+        """Check every edge id targets a real edge of an ``m``-edge graph.
+
+        Both delivery hooks call this, so a typo'd edge id fails loudly and
+        identically on both backends instead of being silently ignored by
+        the simulator's set-membership test and crashing (positive overflow)
+        or aliasing a real edge (negative id) in the vectorized mask.
+        """
+        bad = [e for e in self.dead_edges if not (0 <= e < m)]
+        for r, es in self.mobile.items():
+            bad.extend(e for e in es if not (0 <= e < m))
+        if bad:
+            raise ValidationError(
+                f"fault plan targets nonexistent edge ids {sorted(set(bad))[:8]} "
+                f"(graph has {m} edges)"
+            )
+        return self
+
+    def merged(self, other: "FaultPlan") -> "FaultPlan":
+        """Union of two plans (loss rates combine as independent coins)."""
+        mobile: dict[int, frozenset[int]] = dict(self.mobile)
+        for r, es in other.mobile.items():
+            mobile[r] = mobile.get(r, frozenset()) | es
+        rate = 1.0 - (1.0 - self.drop_rate) * (1.0 - other.drop_rate)
+        return FaultPlan(self.dead_edges | other.dead_edges, rate, mobile)
+
+
+class AdversarySchedule:
+    """Base class: a scenario that compiles to a :class:`FaultPlan`.
+
+    ``compile`` receives the host graph and (optionally) the tree packing
+    under attack, so informed adversaries — the targeted-cut attacker, a
+    tree saboteur — can aim; oblivious ones ignore both.
+    """
+
+    def compile(self, graph: Graph, packing=None) -> FaultPlan:
+        raise NotImplementedError
+
+    def __add__(self, other: "AdversarySchedule") -> "AdversarySchedule":
+        if not isinstance(other, AdversarySchedule):
+            return NotImplemented
+        return _Composed([self, other])
+
+
+class _Composed(AdversarySchedule):
+    def __init__(self, parts: list[AdversarySchedule]):
+        self.parts: list[AdversarySchedule] = []
+        for p in parts:  # flatten so a + b + c keeps one level
+            self.parts.extend(p.parts if isinstance(p, _Composed) else [p])
+
+    def compile(self, graph: Graph, packing=None) -> FaultPlan:
+        plan = FaultPlan()
+        for p in self.parts:
+            plan = plan.merged(p.compile(graph, packing=packing))
+        return plan
+
+
+def compose_schedules(*schedules: AdversarySchedule) -> AdversarySchedule:
+    """Explicit n-ary composition (equivalent to summing with ``+``)."""
+    return _Composed(list(schedules))
+
+
+class StaticSaboteur(AdversarySchedule):
+    """Permanently dead links. ``tree_index`` (with a packing) kills one
+    whole color class — the canonical Section 1.2 saboteur."""
+
+    def __init__(self, dead_edges: Iterable[int] = (), tree_index: int | None = None):
+        self.dead_edges = frozenset(int(e) for e in dead_edges)
+        self.tree_index = tree_index
+
+    def compile(self, graph: Graph, packing=None) -> FaultPlan:
+        dead = self.dead_edges
+        if self.tree_index is not None:
+            if packing is None:
+                raise ValidationError(
+                    "StaticSaboteur(tree_index=...) needs the packing under attack"
+                )
+            from repro.core.resilient import tree_edge_ids
+
+            dead = dead | tree_edge_ids(packing, self.tree_index)
+        return FaultPlan(dead_edges=dead)
+
+
+class MobileAdversary(AdversarySchedule):
+    """Round-scoped control: ``mobile[r]`` edges drop deliveries of round r."""
+
+    def __init__(self, mobile: Mapping[int, Iterable[int]]):
+        self.mobile = {
+            int(r): frozenset(int(e) for e in es) for r, es in dict(mobile).items()
+        }
+
+    @classmethod
+    def sweeping(
+        cls,
+        edge_ids: Iterable[int],
+        budget: int,
+        rounds: int,
+        start: int = 1,
+    ) -> "MobileAdversary":
+        """Rotate a ``budget``-edge foothold over ``edge_ids`` for ``rounds``
+        delivery rounds starting at ``start`` — the FP23 mobile shape where
+        the adversary moves but never controls more than its budget at once.
+        """
+        pool = [int(e) for e in edge_ids]
+        if budget < 1 or not pool:
+            raise ValidationError("sweeping adversary needs a pool and budget >= 1")
+        sched: dict[int, set[int]] = {}
+        for i in range(rounds):
+            lo = (i * budget) % len(pool)
+            window = [pool[(lo + j) % len(pool)] for j in range(min(budget, len(pool)))]
+            sched[start + i] = set(window)
+        return cls(sched)
+
+    def compile(self, graph: Graph, packing=None) -> FaultPlan:
+        return FaultPlan(mobile=self.mobile)
+
+
+class RandomLoss(AdversarySchedule):
+    """i.i.d. loss: each delivery independently dropped with prob ``rate``
+    (closed interval — ``rate=1.0`` is the total-loss boundary case)."""
+
+    def __init__(self, rate: float):
+        if not (0.0 <= rate <= 1.0):
+            raise ValidationError("drop_rate must be in [0, 1]")
+        self.rate = float(rate)
+
+    def compile(self, graph: Graph, packing=None) -> FaultPlan:
+        return FaultPlan(drop_rate=self.rate)
+
+
+class TargetedCutAdversary(AdversarySchedule):
+    """Kill the lightest approximate cut (Theorem 7 turned against Theorem 1).
+
+    The attacker runs :func:`repro.cuts.approx.approx_all_cuts` — so it only
+    ever sees the ε-sparsifier every node ends up holding — scores candidate
+    cuts on it (all single-node cuts plus ``candidates`` random sides), and
+    statically kills the crossing edges of the cheapest side it can afford:
+
+    * with ``budget=None`` it takes the overall lightest candidate cut;
+    * with a budget it prefers the lightest candidate whose whole crossing
+      set fits the budget (actually disconnecting something), falling back
+      to the ``budget`` lowest-weight crossing edges of the lightest cut.
+
+    ``cuts_result`` lets callers reuse an existing Theorem 7 run (the
+    amortization Section 1 suggests); otherwise one is computed with the
+    given backend.
+    """
+
+    def __init__(
+        self,
+        eps: float = 0.4,
+        budget: int | None = None,
+        candidates: int = 32,
+        seed: int = 0,
+        tau: int | None = None,
+        backend: str = "vectorized",
+        cuts_result=None,
+    ):
+        if budget is not None and budget < 1:
+            raise ValidationError("budget must be >= 1 (or None for unlimited)")
+        self.eps = float(eps)
+        self.budget = budget
+        self.candidates = int(candidates)
+        self.seed = int(seed)
+        self.tau = tau
+        self.backend = backend
+        self.cuts_result = cuts_result
+        # compile() is deterministic per graph but runs the whole Theorem 7
+        # pipeline; memoize so a redundancy sweep pays for it once.
+        self._plan_cache: dict[Graph, FaultPlan] = {}
+
+    # -- internals --------------------------------------------------------- #
+
+    @staticmethod
+    def _crossing_edges(graph: Graph, side: np.ndarray) -> np.ndarray:
+        u = graph.edge_u
+        v = graph.edge_v
+        return np.nonzero(side[u] != side[v])[0]
+
+    def compile(self, graph: Graph, packing=None) -> FaultPlan:
+        from repro.cuts.approx import approx_all_cuts
+
+        cached = self._plan_cache.get(graph)
+        if cached is not None:
+            return cached
+        res = self.cuts_result
+        if res is None:
+            res = approx_all_cuts(
+                graph,
+                eps=self.eps,
+                seed=self.seed,
+                tau=self.tau,
+                backend=self.backend,
+            )
+        n = graph.n
+        H = res.sparsifier.sparsifier
+        # All n degree cuts scored in one pass: cut_H({v}) is just v's
+        # weighted degree in the sparsifier — never materialize n side
+        # vectors (that would be O(n^2) memory at the scale E16 targets).
+        hw = H.weights if H.weights is not None else np.ones(H.m)
+        deg_h = np.zeros(n)
+        np.add.at(deg_h, H.edge_u, hw)
+        np.add.at(deg_h, H.edge_v, hw)
+        # Candidate stream: (estimated value, first-seen order, side-or-node),
+        # singletons first (order = node id), then the random balanced sides.
+        scored: list[tuple[float, int, object]] = [
+            (float(deg_h[v]), v, v) for v in range(n)
+        ]
+        rng = ensure_rng(self.seed)
+        for j in range(self.candidates):
+            side = rng.random(n) < 0.5
+            if side.any() and not side.all():
+                scored.append((float(res.estimate_cut(side)), n + j, side))
+        scored.sort(key=lambda t: (t[0], t[1]))
+
+        def crossing(entry) -> np.ndarray:
+            return (
+                graph.incident_edge_ids(entry)
+                if isinstance(entry, int)
+                else self._crossing_edges(graph, entry)
+            )
+
+        choice = None
+        if self.budget is not None:
+            degrees = graph.degrees()
+            for _value, _i, entry in scored:
+                size = (
+                    int(degrees[entry])
+                    if isinstance(entry, int)
+                    else self._crossing_edges(graph, entry).size
+                )
+                if size <= self.budget:
+                    choice = entry
+                    break
+        if choice is None:
+            choice = scored[0][2]
+        crossing_ids = np.sort(crossing(choice))
+        if self.budget is not None and crossing_ids.size > self.budget:
+            w = (
+                graph.weights[crossing_ids]
+                if graph.weights is not None
+                else np.zeros(crossing_ids.size)
+            )
+            order = np.lexsort((crossing_ids, w))  # lightest first, ids break ties
+            crossing_ids = crossing_ids[order][: self.budget]
+        plan = FaultPlan(dead_edges=frozenset(int(e) for e in crossing_ids))
+        self._plan_cache[graph] = plan
+        return plan

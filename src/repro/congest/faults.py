@@ -16,12 +16,20 @@ Faults act at delivery time, so metrics still count the send (the bandwidth
 was spent); protocols built for the fault-free model may stall — that is
 the point, and :func:`repro.core.resilient.redundant_broadcast` shows how
 tree redundancy buys the deliveries back.
+
+Scenarios are usually described as an
+:class:`~repro.congest.adversary.AdversarySchedule` compiled to a
+:class:`~repro.congest.adversary.FaultPlan` (pass it as ``plan=``); the
+vectorized fault engine (:mod:`repro.engine.faults`) consumes the same plan
+and replicates this class's delivery decisions — including the fault RNG
+stream, drawn in delivery order — bit for bit.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Mapping
 
+from repro.congest.adversary import FaultPlan
 from repro.congest.network import Network
 from repro.congest.simulator import Simulator
 from repro.util.rng import ensure_rng
@@ -37,12 +45,20 @@ class FaultySimulator(Simulator):
     dead_edges:
         Edge ids that never deliver (static link failures).
     drop_rate:
-        Independent per-message drop probability (0 disables).
+        Independent per-message drop probability, in the closed interval
+        [0, 1] — ``1.0`` is the total-loss boundary adversary (every
+        delivery fails; no redundancy can help, by design).
     mobile:
         Optional ``round -> iterable of edge ids`` mapping: edges controlled
         by the adversary in that round only.
+    plan:
+        A compiled :class:`~repro.congest.adversary.FaultPlan`; merged with
+        the explicit ``dead_edges``/``drop_rate``/``mobile`` arguments
+        (rates combine as independent coins).
     fault_seed:
-        Seed for the drop-rate coin flips (independent of protocol RNG).
+        Seed for the drop-rate coin flips. Kept on a dedicated stream,
+        independent of the protocol RNG (``seed=``), so varying it never
+        changes protocol behavior — only which deliveries fail.
     """
 
     def __init__(
@@ -52,19 +68,22 @@ class FaultySimulator(Simulator):
         dead_edges: Iterable[int] = (),
         drop_rate: float = 0.0,
         mobile: Mapping[int, Iterable[int]] | None = None,
+        plan: FaultPlan | None = None,
         fault_seed=0,
         **kwargs,
     ):
         super().__init__(network, program_factory, **kwargs)
-        self.dead_edges = frozenset(int(e) for e in dead_edges)
-        if not (0.0 <= drop_rate < 1.0):
-            raise ValueError("drop_rate must be in [0, 1)")
-        self.drop_rate = float(drop_rate)
-        self._mobile = (
-            {int(r): frozenset(int(e) for e in es) for r, es in mobile.items()}
-            if mobile
-            else {}
+        merged = FaultPlan(
+            dead_edges=frozenset(int(e) for e in dead_edges),
+            drop_rate=float(drop_rate),
+            mobile=dict(mobile or {}),
         )
+        if plan is not None:
+            merged = merged.merged(plan)
+        self.plan = merged.validate_for(network.graph.m)
+        self.dead_edges = merged.dead_edges
+        self.drop_rate = merged.drop_rate
+        self._mobile = merged.mobile
         self._fault_rng = ensure_rng(fault_seed)
         self.dropped = 0
 

@@ -177,7 +177,14 @@ class Simulator:
                     inboxes.setdefault(dst, []).append((dst_port, payload))
             pending = []
 
-            active = set(inboxes) | wake_set
+            # Canonical activation order (ascending node id). Protocol
+            # outputs never depend on it (per-node state is isolated), but
+            # the order of the sends it produces fixes next round's delivery
+            # order — and therefore the fault RNG consumption order of
+            # :class:`repro.congest.faults.FaultySimulator` — so it must be
+            # deterministic for the vectorized fault engine
+            # (:mod:`repro.engine.faults`) to replicate it bit for bit.
+            active = sorted(set(inboxes) | wake_set)
             wake_set = set()
             for v in active:
                 ctx = self.contexts[v]

@@ -51,6 +51,13 @@ Baswana–Sen spanner behind Theorem 5 and the Koutis–Xu sparsifier, all
 bit-identical in outputs **and RNG consumption**, so mixed-backend pipelines
 stay reproducible.
 
+Fault injection has a twin as well (:mod:`repro.engine.faults`): per-round
+edge drop masks threaded through the frontier sweeps and the Lemma 1 queue
+recurrence, replicating :class:`~repro.congest.faults.FaultySimulator`
+executions — receipt sets, drop counts, round totals, and the fault RNG
+stream — bit for bit, which is what lets the Section 1.2 resilience
+experiments (``redundant_broadcast``, E16) run at n = 10⁵.
+
 Callers opt in via the ``backend=`` parameter threaded through
 :func:`repro.primitives.bfs.run_bfs`,
 :func:`repro.primitives.bfs.run_parallel_bfs`,
@@ -92,7 +99,20 @@ __all__ = [
     "assign_centers",
     "contract_clusters",
     "vectorized_spanner_edges",
+    "faulty_bfs",
+    "vectorized_faulty_bfs",
+    "vectorized_faulty_broadcast",
 ]
+
+
+def __getattr__(name):
+    # engine.faults pulls in primitives/congest modules; import lazily so
+    # the package stays cheap for fault-free callers.
+    if name in ("faulty_bfs", "vectorized_faulty_bfs", "vectorized_faulty_broadcast"):
+        from repro.engine import faults
+
+        return getattr(faults, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 BACKENDS = ("simulator", "vectorized")
 

@@ -19,6 +19,7 @@ from repro.util.bits import bits_for_int, bits_for_int_array, message_bit_budget
 from repro.util.errors import BandwidthExceeded, ValidationError
 
 __all__ = [
+    "expand_csr_rows",
     "vectorized_bfs",
     "vectorized_parallel_bfs",
     "vectorized_elect_leader",
@@ -43,6 +44,25 @@ def _channel_adjacency(
     return graph.masked_csr(edge_mask)
 
 
+def expand_csr_rows(
+    indptr: np.ndarray, rows: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flat slot indices of all CSR adjacency entries of ``rows``.
+
+    Returns ``(sel, counts, offs)``: ``sel`` indexes the CSR data array with
+    each row's block contiguous in row order, ``counts`` is the per-row
+    block length, and ``offs`` the within-block rank of each entry. Shared
+    by every whole-frontier sweep here and in :mod:`repro.engine.faults`.
+    """
+    counts = indptr[rows + 1] - indptr[rows]
+    total = int(counts.sum())
+    base = np.repeat(indptr[rows], counts)
+    offs = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    return base + offs, counts, offs
+
+
 def _frontier_sweep(
     n: int, indptr: np.ndarray, indices: np.ndarray, root: int
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -60,16 +80,10 @@ def _frontier_sweep(
     frontier = np.array([root], dtype=np.int64)
     d = 0
     while frontier.size:
-        starts = indptr[frontier]
-        counts = indptr[frontier + 1] - starts
-        total = int(counts.sum())
-        if total == 0:
+        sel, counts, _offs = expand_csr_rows(indptr, frontier)
+        if sel.size == 0:
             break
-        base = np.repeat(starts, counts)
-        offsets = np.arange(total, dtype=np.int64) - np.repeat(
-            np.cumsum(counts) - counts, counts
-        )
-        dst = indices[base + offsets]
+        dst = indices[sel]
         src = np.repeat(frontier, counts)
         fresh = dist[dst] < 0
         if not fresh.any():

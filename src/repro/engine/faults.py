@@ -1,0 +1,576 @@
+"""Fault-aware vectorized engine: drop masks threaded through the sweeps.
+
+The fault-free fast path (:mod:`repro.engine.fastpath`) never materializes
+messages — round counts collapse to closed forms because *no delivery can
+fail*. Under a :class:`~repro.congest.adversary.FaultPlan` that shortcut is
+gone: which message is on which edge in which round decides what survives,
+so this module re-runs the protocols' queue dynamics round by round, but as
+whole-network numpy batches instead of per-node Python state machines:
+
+* :func:`vectorized_faulty_bfs` — the Lemma 2 flood with per-round edge
+  drop masks applied to each frontier sweep (an announce that dies leaves
+  the subtree to adopt later, or never);
+* :func:`vectorized_faulty_broadcast` — the Lemma 1 upcast/downcast queue
+  recurrence with drops at delivery time, tracking exact per-node receipt
+  sets for :func:`repro.core.resilient.redundant_broadcast`.
+
+**Bit-identical contract.** Both kernels replicate the corresponding
+:class:`~repro.congest.faults.FaultySimulator` execution exactly: the same
+deliveries fail, the same receipt sets result, the same round totals are
+reported, and the fault RNG stream is consumed *in the simulator's delivery
+order* (node id ascending, then channel, then the node's send order), so
+the final RNG state matches bit for bit. This works because the simulator
+activates nodes in canonical ascending order and NumPy's ``Generator.random``
+consumes the PCG64 stream identically whether drawn one-by-one or batched.
+The contract is enforced by :mod:`repro.engine.verify` checks
+(``check_faulty_bfs``, ``check_redundant_broadcast``) in the CI sweep.
+
+Like the fault-free engine, sends are still "bit-priced" in the sense that
+faults act at delivery time only — a dropped message spent its bandwidth,
+which is why :class:`DeliveryReport` drop counts agree with the simulator's
+``Metrics`` (which records every send).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.congest.adversary import FaultPlan
+from repro.engine.fastpath import expand_csr_rows
+from repro.graphs.graph import Graph
+from repro.primitives.bfs import BFSResult
+from repro.util.errors import ValidationError
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "FaultStream",
+    "FaultyBFSOutcome",
+    "FaultyBroadcastOutcome",
+    "faulty_bfs",
+    "vectorized_faulty_bfs",
+    "vectorized_faulty_broadcast",
+]
+
+
+class FaultStream:
+    """Applies a :class:`FaultPlan` to one round's ordered delivery batch.
+
+    Mirrors ``FaultySimulator._deliverable`` exactly: dead edges first, then
+    the round's mobile set, then one fault-RNG coin per *surviving* message,
+    drawn in delivery order (batched — PCG64 draws are identical either way).
+    """
+
+    def __init__(self, graph: Graph, plan: FaultPlan, fault_seed=0):
+        plan.validate_for(graph.m)
+        self.rng = ensure_rng(fault_seed)
+        self.rate = plan.drop_rate
+        self.mobile = plan.mobile
+        self.m = graph.m
+        self.dead = np.zeros(graph.m, dtype=bool)
+        if plan.dead_edges:
+            self.dead[
+                np.fromiter(plan.dead_edges, dtype=np.int64, count=len(plan.dead_edges))
+            ] = True
+        self.dropped = 0
+
+    def deliver_mask(self, rnd: int, eids: np.ndarray) -> np.ndarray:
+        """True where the message on ``eids[i]`` survives delivery round ``rnd``."""
+        drop = self.dead[eids]
+        spot = self.mobile.get(rnd)
+        if spot:
+            mob = np.zeros(self.m, dtype=bool)
+            mob[np.fromiter(spot, dtype=np.int64, count=len(spot))] = True
+            drop = drop | mob[eids]
+        else:
+            drop = drop.copy()
+        if self.rate > 0.0:
+            alive_idx = np.nonzero(~drop)[0]
+            if alive_idx.size:
+                coin = self.rng.random(alive_idx.size) < self.rate
+                drop[alive_idx[coin]] = True
+        self.dropped += int(drop.sum())
+        return ~drop
+
+    @property
+    def rng_state(self) -> dict:
+        return self.rng.bit_generator.state
+
+
+def _popcount_rows(bits: np.ndarray) -> np.ndarray:
+    """Per-row set-bit counts of a packed uint8 matrix."""
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(bits).sum(axis=1, dtype=np.int64)
+    out = np.zeros(bits.shape[0], dtype=np.int64)  # pragma: no cover - numpy<2
+    for lo in range(0, bits.shape[0], 4096):
+        chunk = bits[lo : lo + 4096]
+        out[lo : lo + chunk.shape[0]] = np.unpackbits(chunk, axis=1).sum(
+            axis=1, dtype=np.int64
+        )
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Lemma 2 under faults — BFS flood with per-round drop masks
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class FaultyBFSOutcome:
+    """A (possibly partial) BFS forest grown under faults."""
+
+    result: BFSResult
+    dropped: int
+    fault_rng_state: dict
+
+
+_KIND_CHILD = 0  # canonical per-node send order: CHILD notice first,
+_KIND_ANNOUNCE = 1  # then layer announces on the remaining ports ascending
+
+
+def vectorized_faulty_bfs(
+    graph: Graph,
+    root: int,
+    plan: FaultPlan | None = None,
+    fault_seed=0,
+    edge_mask: np.ndarray | None = None,
+) -> FaultyBFSOutcome:
+    """Fast-path twin of the Lemma 2 flood on a :class:`FaultySimulator`.
+
+    Per round, the frontier's announces and child-notices form one ordered
+    delivery batch; the drop mask is applied to the whole batch at once. A
+    node adopts the smallest *surviving* announcing neighbor of the round it
+    first hears one — which may be rounds later than the fault-free flood,
+    with a larger dist, or never (``dist = -1``). A dropped child-notice
+    leaves the child out of its parent's ``children`` list even though the
+    child keeps the parent pointer, exactly like the simulator.
+    """
+    if not (0 <= root < graph.n):
+        raise ValidationError(f"root {root} out of range")
+    plan = plan if plan is not None else FaultPlan()
+    n = graph.n
+    stream = FaultStream(graph, plan, fault_seed)
+    indptr, indices = graph.masked_csr(
+        None if edge_mask is None else np.asarray(edge_mask, dtype=bool)
+    )
+    degs = np.diff(indptr)
+    arc_eids = (
+        graph.edge_ids_for_pairs(np.repeat(np.arange(n), degs), indices)
+        if indices.size
+        else np.empty(0, dtype=np.int64)
+    )
+
+    dist = np.full(n, -1, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64)
+    adopted = np.zeros(n, dtype=bool)
+    dist[root] = 0
+    parent[root] = root
+    adopted[root] = True
+    child_src: list[np.ndarray] = []
+    child_dst: list[np.ndarray] = []
+
+    def expand(adopters: np.ndarray):
+        """Canonically ordered send batch of freshly adopted nodes.
+
+        Per node: CHILD to the parent first (the root sends none), then an
+        announce on every other usable port in ascending-neighbor order —
+        the exact outbox insertion order of ``BFSProgram``.
+        """
+        sel, counts, offs = expand_csr_rows(indptr, adopters)
+        if sel.size == 0:
+            return None
+        src = np.repeat(adopters, counts)
+        dst = indices[sel]
+        eid = arc_eids[sel]
+        is_parent_arc = dst == parent[src]
+        kind = np.where(is_parent_arc, _KIND_CHILD, _KIND_ANNOUNCE)
+        keep = ~(is_parent_arc & (src == root))  # root: no parent, no CHILD
+        src, dst, eid, kind, sub = (
+            src[keep],
+            dst[keep],
+            eid[keep],
+            kind[keep],
+            offs[keep],
+        )
+        if not src.size:
+            return None
+        order = np.lexsort((sub, kind, src))
+        return src[order], dst[order], eid[order], kind[order]
+
+    batch = expand(np.array([root], dtype=np.int64))
+    rnd = 0
+    rounds = 0
+    while batch is not None:
+        rnd += 1
+        rounds = rnd
+        src, dst, eid, kind = batch
+        alive = stream.deliver_mask(rnd, eid)
+        notice = alive & (kind == _KIND_CHILD)
+        if notice.any():
+            child_src.append(src[notice])
+            child_dst.append(dst[notice])
+        ann = alive & (kind == _KIND_ANNOUNCE) & ~adopted[dst]
+        batch = None
+        if ann.any():
+            a_src = src[ann]
+            a_dst = dst[ann]
+            order = np.lexsort((a_src, a_dst))
+            a_src, a_dst = a_src[order], a_dst[order]
+            first = np.ones(a_dst.size, dtype=bool)
+            first[1:] = a_dst[1:] != a_dst[:-1]
+            winners = a_dst[first]
+            announcers = a_src[first]  # smallest port == smallest neighbor id
+            dist[winners] = dist[announcers] + 1
+            parent[winners] = announcers
+            adopted[winners] = True
+            batch = expand(winners)
+
+    children: list[list[int]] = [[] for _ in range(n)]
+    if child_src:
+        cs = np.concatenate(child_src)
+        cd = np.concatenate(child_dst)
+        for p, c in zip(cd.tolist(), cs.tolist()):
+            children[p].append(c)
+        for lst in children:
+            lst.sort()  # canonical order, as _collect_results does
+    result = BFSResult(
+        root=root, parent=parent, dist=dist, children=children, rounds=rounds
+    )
+    return FaultyBFSOutcome(
+        result=result, dropped=stream.dropped, fault_rng_state=stream.rng_state
+    )
+
+
+def faulty_bfs(
+    graph: Graph,
+    root: int,
+    plan: FaultPlan | None = None,
+    fault_seed=0,
+    edge_mask: np.ndarray | None = None,
+    backend: str = "simulator",
+) -> FaultyBFSOutcome:
+    """Lemma 2's flood under a fault plan, on either backend.
+
+    ``backend="simulator"`` runs :class:`~repro.primitives.bfs.BFSProgram`
+    on a :class:`~repro.congest.faults.FaultySimulator`;
+    ``backend="vectorized"`` produces the bit-identical outcome (forest,
+    round count, drop count, fault RNG state) via
+    :func:`vectorized_faulty_bfs`.
+    """
+    from repro.engine import validate_backend
+
+    if validate_backend(backend) == "vectorized":
+        return vectorized_faulty_bfs(
+            graph, root, plan=plan, fault_seed=fault_seed, edge_mask=edge_mask
+        )
+    from repro.congest.faults import FaultySimulator
+    from repro.congest.network import Network
+    from repro.primitives.bfs import BFSProgram, _collect_results
+
+    if not (0 <= root < graph.n):
+        raise ValidationError(f"root {root} out of range")
+    plan = plan if plan is not None else FaultPlan()
+    network = Network(graph)
+    if edge_mask is not None:
+        mask = np.asarray(edge_mask, dtype=bool)
+        ports = {v: network.ports_for_edges(v, mask) for v in range(graph.n)}
+    else:
+        ports = {v: None for v in range(graph.n)}
+
+    programs: list[BFSProgram] = []
+
+    def factory(v: int) -> BFSProgram:
+        prog = BFSProgram(v, {0: root}, {0: ports[v]})
+        programs.append(prog)
+        return prog
+
+    sim = FaultySimulator(network, factory, plan=plan, fault_seed=fault_seed)
+    result = sim.run()
+    for prog in programs:
+        prog.finalize()
+    res = _collect_results(graph, network, programs, {0: root}, result.metrics.rounds)[0]
+    return FaultyBFSOutcome(
+        result=res,
+        dropped=sim.dropped,
+        fault_rng_state=sim._fault_rng.bit_generator.state,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Lemma 1 under faults — tracking upcast/downcast queue recurrence
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class FaultyBroadcastOutcome:
+    """Exact delivery bookkeeping of one faulted multi-tree broadcast."""
+
+    rounds: int
+    dropped: int
+    mids: np.ndarray  # sorted distinct message ids
+    receipt_counts: np.ndarray  # distinct receiving nodes per mid
+    receipt_bits: np.ndarray  # packed (len(mids), ceil(n/8)) receipt matrix
+    n: int
+    fault_rng_state: dict
+
+    def coverage(self) -> dict[int, float]:
+        return {
+            int(m): int(c) / self.n
+            for m, c in zip(self.mids.tolist(), self.receipt_counts.tolist())
+        }
+
+    def receipts(self) -> dict[int, frozenset[int]]:
+        """Exact per-message receipt sets (unpacked on demand)."""
+        out: dict[int, frozenset[int]] = {}
+        for i, m in enumerate(self.mids.tolist()):
+            nodes = np.nonzero(
+                np.unpackbits(self.receipt_bits[i], bitorder="little")[: self.n]
+            )[0]
+            out[int(m)] = frozenset(nodes.tolist())
+        return out
+
+
+class _Channel:
+    """Vectorized state of one broadcast channel (tree + queues)."""
+
+    __slots__ = (
+        "root",
+        "parent",
+        "up_eid",
+        "cindptr",
+        "cind",
+        "ceid",
+        "up_q",
+        "root_dq",
+        "root_head",
+        "down_mid",
+    )
+
+    def __init__(self, graph: Graph, tree: BFSResult, placement: dict[int, list[int]]):
+        n = graph.n
+        self.root = int(tree.root)
+        self.parent = np.asarray(tree.parent, dtype=np.int64)
+        ids = np.arange(n)
+        nonroot = self.parent != ids
+        self.up_eid = np.full(n, -1, dtype=np.int64)
+        vs = np.nonzero(nonroot)[0]
+        if vs.size:
+            self.up_eid[vs] = graph.edge_ids_for_pairs(self.parent[vs], vs)
+        counts = np.fromiter(
+            (len(tree.children[v]) for v in range(n)), dtype=np.int64, count=n
+        )
+        self.cindptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.cindptr[1:])
+        total = int(counts.sum())
+        self.cind = np.fromiter(
+            (c for v in range(n) for c in tree.children[v]),
+            dtype=np.int64,
+            count=total,
+        )
+        self.ceid = (
+            graph.edge_ids_for_pairs(np.repeat(ids, counts), self.cind)
+            if total
+            else np.empty(0, dtype=np.int64)
+        )
+        # Queues, seeded exactly like _TrackingProgram.__init__: the root's
+        # own items go straight to its down stream (and count as received);
+        # everyone else's own items start in the up queue.
+        self.up_q: dict[int, deque[int]] = {}
+        self.root_dq: list[int] = []
+        self.root_head = 0
+        for v, mids in placement.items():
+            if not mids:
+                continue
+            if int(v) == self.root:
+                self.root_dq.extend(int(m) for m in mids)
+            else:
+                self.up_q[int(v)] = deque(int(m) for m in mids)
+        self.down_mid = np.full(n, -1, dtype=np.int64)
+
+
+def vectorized_faulty_broadcast(
+    graph: Graph,
+    trees: dict[int, BFSResult],
+    messages: dict[int, dict[int, list[int]]],
+    plan: FaultPlan | None = None,
+    fault_seed=0,
+) -> FaultyBroadcastOutcome:
+    """Fast-path twin of the tracking broadcast on a faulty simulator.
+
+    Replays the pump-while-busy dynamics of
+    :class:`repro.core.resilient._TrackingProgram` as per-round numpy
+    batches: every nonempty up-queue sends its head to the parent, every
+    nonempty down-queue pops one id (forwarded to all tree children), all
+    crossings of a round form one delivery batch in the simulator's
+    canonical order — node ascending, channel ascending, up-send before
+    down-sends, children in ``tree.children`` order — and the fault plan
+    drops from that batch exactly as ``FaultySimulator._deliverable`` would
+    (same drops, same RNG stream). Receipts are tracked in a packed bitset,
+    one row per message id.
+
+    ``trees``/``messages`` take the same shapes as
+    :func:`repro.engine.fastpath.vectorized_tree_broadcast`; channels are
+    processed in sorted-cid order, which matches any driver that builds its
+    per-node channel specs over ``{0: ..., 1: ..., ...}`` in cid order.
+    """
+    plan = plan if plan is not None else FaultPlan()
+    n = graph.n
+    cids = sorted(trees)
+    for cid in messages:
+        if cid not in trees:
+            raise ValidationError(f"messages given for unknown channel {cid}")
+    for cid in cids:
+        if not trees[cid].spans():
+            raise ValidationError(f"channel {cid} tree does not span the graph")
+    if n > 1 and len(cids) > 1:
+        use = np.zeros(graph.m, dtype=np.int64)
+        for cid in cids:
+            t = trees[cid]
+            vs = np.nonzero(t.parent != np.arange(n))[0]
+            use[graph.edge_ids_for_pairs(t.parent[vs], vs)] += 1
+        if use.max() > 1:
+            raise ValidationError(
+                "trees must be edge-disjoint (the simulator would refuse the "
+                "double-send)"
+            )
+
+    all_mids = sorted(
+        {int(m) for pl in messages.values() for ms in pl.values() for m in ms}
+    )
+    mid_index = np.asarray(all_mids, dtype=np.int64)
+    mid_row = {m: i for i, m in enumerate(all_mids)}
+    nbytes = max(1, (n + 7) // 8)
+    recv = np.zeros((len(all_mids), nbytes), dtype=np.uint8)
+
+    chans = [_Channel(graph, trees[cid], messages.get(cid, {})) for cid in cids]
+    stream = FaultStream(graph, plan, fault_seed)
+
+    # Roots know their own messages from the start (per _TrackingProgram).
+    for ci, cid in enumerate(cids):
+        st = chans[ci]
+        own = messages.get(cid, {}).get(st.root, [])
+        if own:
+            rows = np.searchsorted(mid_index, np.asarray(own, dtype=np.int64))
+            np.bitwise_or.at(
+                recv, (rows, st.root >> 3), np.uint8(1 << (st.root & 7))
+            )
+
+    def send_phase():
+        """Pump every nonempty queue once, in canonical order; pop heads.
+
+        Returns ``(batch, busy)``: the ordered crossing arrays (or None) and
+        whether any queue still holds items after the pops (the simulator's
+        wake condition — it keeps the round clock running even when a pop
+        produces no sends, e.g. a single-node root draining its own list).
+        """
+        node_l, chan_l, kind_l, sub_l, dst_l, eid_l, mid_l = (
+            [], [], [], [], [], [], []
+        )
+        busy = False
+        for ci, st in enumerate(chans):
+            if st.up_q:
+                uvs = np.fromiter(sorted(st.up_q), dtype=np.int64, count=len(st.up_q))
+                umids = np.fromiter(
+                    (st.up_q[v][0] for v in uvs.tolist()),
+                    dtype=np.int64,
+                    count=uvs.size,
+                )
+                node_l.append(uvs)
+                chan_l.append(np.full(uvs.size, ci, dtype=np.int64))
+                kind_l.append(np.zeros(uvs.size, dtype=np.int64))
+                sub_l.append(np.zeros(uvs.size, dtype=np.int64))
+                dst_l.append(st.parent[uvs])
+                eid_l.append(st.up_eid[uvs])
+                mid_l.append(umids)
+                for v in uvs.tolist():
+                    q = st.up_q[v]
+                    q.popleft()
+                    if q:
+                        busy = True
+                    else:
+                        del st.up_q[v]
+            dvs = np.nonzero(st.down_mid >= 0)[0]
+            dmids = st.down_mid[dvs]
+            if st.root_head < len(st.root_dq):
+                pos = int(np.searchsorted(dvs, st.root))
+                dvs = np.insert(dvs, pos, st.root)
+                dmids = np.insert(dmids, pos, st.root_dq[st.root_head])
+                st.root_head += 1
+                if st.root_head < len(st.root_dq):
+                    busy = True
+            if dvs.size:
+                st.down_mid[dvs] = -1
+                sel, counts, offs = expand_csr_rows(st.cindptr, dvs)
+                if sel.size:
+                    node_l.append(np.repeat(dvs, counts))
+                    chan_l.append(np.full(sel.size, ci, dtype=np.int64))
+                    kind_l.append(np.ones(sel.size, dtype=np.int64))
+                    sub_l.append(offs)
+                    dst_l.append(st.cind[sel])
+                    eid_l.append(st.ceid[sel])
+                    mid_l.append(np.repeat(dmids, counts))
+        if not node_l:
+            return None, busy
+        node = np.concatenate(node_l)
+        chan = np.concatenate(chan_l)
+        kind = np.concatenate(kind_l)
+        sub = np.concatenate(sub_l)
+        order = np.lexsort((sub, kind, chan, node))
+        return (
+            (
+                chan[order],
+                kind[order],
+                np.concatenate(dst_l)[order],
+                np.concatenate(eid_l)[order],
+                np.concatenate(mid_l)[order],
+            ),
+            busy,
+        )
+
+    batch, busy = send_phase()
+    rnd = 0
+    rounds = 0
+    while batch is not None or busy:
+        rnd += 1
+        rounds = rnd
+        if batch is not None:
+            chan, kind, dst, eid, mid = batch
+            alive = stream.deliver_mask(rnd, eid)
+            # UP deliveries in order (Python loop: volume is only the sum of
+            # origin depths, the sparse-upcast term).
+            for i in np.nonzero(alive & (kind == 0))[0].tolist():
+                st = chans[chan[i]]
+                d = int(dst[i])
+                m_ = int(mid[i])
+                if d == st.root:
+                    recv[mid_row[m_], d >> 3] |= np.uint8(1 << (d & 7))
+                    st.root_dq.append(m_)
+                else:
+                    q = st.up_q.get(d)
+                    if q is None:
+                        q = st.up_q[d] = deque()
+                    q.append(m_)
+            # DOWN deliveries — the bulk — vectorized per channel.
+            down_alive = alive & (kind == 1)
+            for ci, st in enumerate(chans):
+                sel = np.nonzero(down_alive & (chan == ci))[0]
+                if not sel.size:
+                    continue
+                dd = dst[sel]
+                mm = mid[sel]
+                rows = np.searchsorted(mid_index, mm)
+                np.bitwise_or.at(
+                    recv, (rows, dd >> 3), (1 << (dd & 7)).astype(np.uint8)
+                )
+                st.down_mid[dd] = mm
+        batch, busy = send_phase()
+
+    return FaultyBroadcastOutcome(
+        rounds=rounds,
+        dropped=stream.dropped,
+        mids=mid_index,
+        receipt_counts=_popcount_rows(recv),
+        receipt_bits=recv,
+        n=n,
+        fault_rng_state=stream.rng_state,
+    )

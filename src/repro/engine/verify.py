@@ -23,6 +23,7 @@ from repro.util.rng import ensure_rng
 __all__ = [
     "random_connected_graph",
     "random_edge_masks",
+    "random_fault_plan",
     "check_bfs",
     "check_parallel_bfs",
     "check_leader",
@@ -34,6 +35,8 @@ __all__ = [
     "check_sparsifier",
     "check_apsp_pipeline",
     "check_cuts_pipeline",
+    "check_faulty_bfs",
+    "check_redundant_broadcast",
     "EquivalenceReport",
     "verify_equivalence",
 ]
@@ -402,6 +405,113 @@ def check_cuts_pipeline(
     return out
 
 
+def random_fault_plan(graph: Graph, seed, rate: float | None = None):
+    """A randomized :class:`~repro.congest.adversary.FaultPlan`: a few dead
+    edges, a couple of mobile rounds, and a drop rate (``rate=None`` picks
+    one of 0 / 0.3 / 1.0 — including the total-loss boundary)."""
+    from repro.congest.adversary import FaultPlan
+
+    rng = ensure_rng(seed)
+    dead = set()
+    if graph.m:
+        dead = {
+            int(e)
+            for e in rng.choice(graph.m, size=int(rng.integers(0, min(graph.m, 4))), replace=False)
+        }
+    mobile = {}
+    for _ in range(int(rng.integers(0, 3))):
+        if graph.m:
+            mobile[int(rng.integers(1, 8))] = {
+                int(e) for e in rng.choice(graph.m, size=min(graph.m, 2), replace=False)
+            }
+    if rate is None:
+        rate = [0.0, 0.3, 1.0][int(rng.integers(3))]
+    return FaultPlan(dead_edges=dead, drop_rate=rate, mobile=mobile)
+
+
+def check_faulty_bfs(
+    graph: Graph, root: int, plan, fault_seed, edge_mask=None
+) -> list[str]:
+    """Lemma 2 flood under faults: forest, rounds, drops, and the fault RNG
+    stream (final PCG64 state) must match across backends."""
+    from repro.engine.faults import faulty_bfs
+
+    sim = faulty_bfs(
+        graph, root, plan=plan, fault_seed=fault_seed, edge_mask=edge_mask,
+        backend="simulator",
+    )
+    vec = faulty_bfs(
+        graph, root, plan=plan, fault_seed=fault_seed, edge_mask=edge_mask,
+        backend="vectorized",
+    )
+    out = _diff_bfs(sim.result, vec.result, "faulty-bfs")
+    if sim.dropped != vec.dropped:
+        out.append(f"faulty-bfs: dropped {sim.dropped} != {vec.dropped}")
+    if sim.fault_rng_state != vec.fault_rng_state:
+        out.append("faulty-bfs: fault RNG streams diverged")
+    return out
+
+
+def check_redundant_broadcast(
+    graph: Graph, k: int, seed, parts: int = 2, redundancy: int = 1, plan=None
+) -> list[str]:
+    """Redundant broadcast under an adversary: the full
+    :class:`~repro.core.resilient.DeliveryReport` — exact per-message
+    receipt sets, dropped counts, round totals — plus the fault RNG state
+    must be bit-identical across backends.
+
+    Builds a Theorem 2 packing first; if the w.h.p. packing event fails on
+    the tiny random host, the check is vacuous (skipped).
+    """
+    from repro.core.broadcast import uniform_random_placement
+    from repro.core.resilient import redundant_broadcast
+    from repro.core.tree_packing import build_packing_with_retry
+    from repro.util.errors import ValidationError
+
+    try:
+        packing, _ = build_packing_with_retry(
+            graph, parts, seed=seed, distributed=False
+        )
+    except ValidationError:
+        return []
+    placement = uniform_random_placement(graph.n, k, seed=seed)
+    if plan is None:
+        plan = random_fault_plan(graph, seed=seed + 13)
+    redundancy = min(max(1, redundancy), packing.size)
+
+    def attempt(backend):
+        return redundant_broadcast(
+            graph,
+            placement,
+            packing,
+            redundancy=redundancy,
+            dead_edges=plan.dead_edges,
+            drop_rate=plan.drop_rate,
+            mobile=plan.mobile,
+            seed=seed,
+            fault_seed=seed + 1,
+            backend=backend,
+            collect_receipts=True,
+        )
+
+    sim = attempt("simulator")
+    vec = attempt("vectorized")
+    out = []
+    if sim.rounds != vec.rounds:
+        out.append(f"redundant: rounds {sim.rounds} != {vec.rounds}")
+    if sim.dropped_messages != vec.dropped_messages:
+        out.append(
+            f"redundant: dropped {sim.dropped_messages} != {vec.dropped_messages}"
+        )
+    if sim.per_message_coverage != vec.per_message_coverage:
+        out.append("redundant: per-message coverage differs")
+    if sim.receipts != vec.receipts:
+        out.append("redundant: receipt sets differ")
+    if sim.fault_rng_state != vec.fault_rng_state:
+        out.append("redundant: fault RNG streams diverged")
+    return out
+
+
 @dataclass
 class EquivalenceReport:
     """Outcome of one randomized equivalence sweep."""
@@ -444,6 +554,20 @@ def verify_equivalence(
             check_sparsifier(gw, eps=0.5, seed=6000 * seed + t, tau=2),
             check_apsp_pipeline(g, seed=7000 * seed + t),
             check_cuts_pipeline(g, eps=0.5, seed=8000 * seed + t, tau=2),
+            check_faulty_bfs(
+                g,
+                root,
+                random_fault_plan(g, seed=9000 * seed + t),
+                fault_seed=t,
+                edge_mask=masks[0] if t % 2 else None,
+            ),
+            check_redundant_broadcast(
+                g,
+                k,
+                seed=10_000 * seed + t,
+                parts=parts,
+                redundancy=1 + t % 2,
+            ),
         ):
             report.checks += 1
             report.mismatches.extend(f"[trial {t}, n={n}] {m}" for m in mismatches)

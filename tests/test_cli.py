@@ -101,3 +101,43 @@ class TestCommands:
     def test_error_path_returns_one(self, capsys):
         assert main(["info", "pentagram:n=5"]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestResilienceCommand:
+    def test_help(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["resilience", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "--adversary" in out and "targeted-cut" in out and "--backend" in out
+
+    def test_clean_run_full_coverage(self, capsys):
+        rc = main(["resilience", "thick:groups=8,size=6", "-k", "24", "--C", "1.5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fully delivered: 24/24" in out and "min coverage: 100.00%" in out
+
+    def test_dead_tree_backends_print_identically(self, capsys):
+        args = ["resilience", "thick:groups=8,size=6", "-k", "24", "-r", "2",
+                "--adversary", "dead-tree", "--C", "1.5"]
+        assert main(args) == 0
+        sim_out = capsys.readouterr().out
+        assert main(args + ["--backend", "vectorized"]) == 0
+        vec_out = capsys.readouterr().out
+        strip = lambda s: [l for l in s.splitlines() if not l.startswith("backend")]  # noqa: E731
+        assert strip(sim_out) == strip(vec_out)
+        assert "fully delivered: 24/24" in sim_out  # r=2 rides out the dead tree
+
+    def test_loss_adversary(self, capsys):
+        rc = main(["resilience", "thick:groups=8,size=6", "-k", "24",
+                   "--adversary", "loss", "--drop-rate", "0.05", "--C", "1.5",
+                   "--fault-seed", "3", "--backend", "vectorized"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "adversary: loss" in out and "deliveries dropped:" in out
+
+    def test_invalid_drop_rate_is_an_error(self, capsys):
+        rc = main(["resilience", "thick:groups=8,size=6", "-k", "8",
+                   "--adversary", "loss", "--drop-rate", "1.5", "--C", "1.5"])
+        assert rc == 1
+        assert "drop_rate" in capsys.readouterr().err

@@ -24,14 +24,17 @@ from repro.engine.verify import (
     check_broadcast_pipeline,
     check_clustering,
     check_cuts_pipeline,
+    check_faulty_bfs,
     check_leader,
     check_numbering,
     check_parallel_bfs,
+    check_redundant_broadcast,
     check_spanner,
     check_sparsifier,
     check_tree_broadcast,
     random_connected_graph,
     random_edge_masks,
+    random_fault_plan,
     verify_equivalence,
 )
 from repro.graphs import Graph, path_of_cliques, random_weights, thick_cycle
@@ -325,8 +328,100 @@ class TestMaskedCSRMemoization:
         assert g.masked_csr_hits == 0
 
 
+class TestFaultEngineEquivalence:
+    """Fault-aware engine (ISSUE 5): drops, receipts, and the fault RNG
+    stream must be bit-identical to the FaultySimulator execution."""
+
+    @_SETTINGS
+    @given(
+        n=st.integers(2, 20),
+        extra=st.integers(0, 24),
+        seed=st.integers(0, 10_000),
+        rate=st.sampled_from([0.0, 0.25, 0.5, 1.0]),
+        masked=st.booleans(),
+    )
+    def test_faulty_bfs_backends_identical(self, n, extra, seed, rate, masked):
+        g = random_connected_graph(n, extra, seed=seed)
+        plan = random_fault_plan(g, seed=seed + 1, rate=rate)
+        mask = random_edge_masks(g, 2, seed=seed + 2)[0] if masked else None
+        assert check_faulty_bfs(g, seed % n, plan, fault_seed=seed, edge_mask=mask) == []
+
+    @_SETTINGS
+    @given(
+        n=st.integers(4, 16),
+        extra=st.integers(4, 24),
+        seed=st.integers(0, 10_000),
+        k=st.integers(0, 20),
+        parts=st.integers(1, 3),
+        redundancy=st.integers(1, 3),
+    )
+    def test_redundant_broadcast_backends_identical(
+        self, n, extra, seed, k, parts, redundancy
+    ):
+        g = random_connected_graph(n, extra, seed=seed)
+        assert (
+            check_redundant_broadcast(
+                g, k, seed=seed, parts=parts, redundancy=redundancy
+            )
+            == []
+        )
+
+    def test_every_adversary_type_on_a_packing_host(self):
+        """The acceptance sweep: each AdversarySchedule flavor, both
+        backends, exact DeliveryReport + RNG-state equality."""
+        from repro.congest.adversary import (
+            MobileAdversary,
+            RandomLoss,
+            StaticSaboteur,
+            TargetedCutAdversary,
+            compose_schedules,
+        )
+        from repro.core import (
+            build_packing_with_retry,
+            redundant_broadcast,
+            uniform_random_placement,
+        )
+
+        g = thick_cycle(8, 5)
+        packing, _ = build_packing_with_retry(g, 3, seed=1, distributed=False)
+        pl = uniform_random_placement(g.n, 30, seed=2)
+        schedules = [
+            None,
+            StaticSaboteur(tree_index=0),
+            MobileAdversary.sweeping(range(g.m), budget=6, rounds=12),
+            RandomLoss(0.2),
+            RandomLoss(1.0),
+            TargetedCutAdversary(eps=0.5, budget=4, candidates=4, seed=3, tau=2),
+            StaticSaboteur(tree_index=1) + RandomLoss(0.1),
+            compose_schedules(
+                MobileAdversary({2: {0, 1}}), RandomLoss(0.05), StaticSaboteur({5})
+            ),
+        ]
+        for adv in schedules:
+            reports = {
+                backend: redundant_broadcast(
+                    g,
+                    pl,
+                    packing,
+                    redundancy=2,
+                    adversary=adv,
+                    seed=4,
+                    fault_seed=5,
+                    backend=backend,
+                    collect_receipts=True,
+                )
+                for backend in BACKENDS
+            }
+            sim, vec = reports["simulator"], reports["vectorized"]
+            assert sim.rounds == vec.rounds, adv
+            assert sim.dropped_messages == vec.dropped_messages, adv
+            assert sim.per_message_coverage == vec.per_message_coverage, adv
+            assert sim.receipts == vec.receipts, adv
+            assert sim.fault_rng_state == vec.fault_rng_state, adv
+
+
 class TestHarnessSweep:
     def test_randomized_sweep_is_clean(self):
         report = verify_equivalence(trials=6, seed=11, max_n=20)
-        assert report.checks == 6 * 11
+        assert report.checks == 6 * 13
         assert report.ok, report.mismatches

@@ -3,7 +3,17 @@
 import numpy as np
 import pytest
 
-from repro.congest import FaultySimulator, Network, NodeProgram
+from repro.congest import (
+    FaultPlan,
+    FaultySimulator,
+    MobileAdversary,
+    Network,
+    NodeProgram,
+    RandomLoss,
+    StaticSaboteur,
+    TargetedCutAdversary,
+    compose_schedules,
+)
 from repro.core import (
     build_packing_with_retry,
     redundant_broadcast,
@@ -76,8 +86,20 @@ class TestFaultySimulator:
 
     def test_invalid_drop_rate(self):
         g = cycle_graph(5)
-        with pytest.raises(ValueError):
-            FaultySimulator(Network(g), _Flood, drop_rate=1.0)
+        with pytest.raises(ValidationError):
+            FaultySimulator(Network(g), _Flood, drop_rate=1.5)
+        with pytest.raises(ValidationError):
+            FaultySimulator(Network(g), _Flood, drop_rate=-0.1)
+
+    def test_total_loss_boundary_accepted(self):
+        """drop_rate=1.0 (the closed-interval boundary) is a legal adversary:
+        every delivery fails, so the flood never leaves node 0."""
+        g = cycle_graph(6)
+        sim = FaultySimulator(Network(g), _Flood, drop_rate=1.0)
+        result = sim.run()
+        heard = [p.heard for p in result.programs]
+        assert heard[0] is True and not any(heard[1:])
+        assert sim.dropped == 2  # node 0's two initial sends, both dropped
 
 
 class TestRedundantBroadcast:
@@ -131,3 +153,211 @@ class TestRedundantBroadcast:
         )
         # 1% loss with double redundancy: most messages still everywhere.
         assert lossy.fully_delivered >= 0.8 * lossy.k
+
+    def test_total_loss_defeats_full_redundancy_by_design(self, setup):
+        """The r = λ' boundary: drop_rate=1.0 kills every delivery, so even
+        assigning every message to every tree saves nothing — only the
+        root's own messages are ever 'received' (by the root itself)."""
+        g, packing, pl = setup
+        rep = redundant_broadcast(
+            g, pl, packing, redundancy=packing.size, drop_rate=1.0
+        )
+        assert rep.fully_delivered == 0
+        assert max(rep.per_message_coverage.values()) <= 1 / g.n
+        # Dead edges are moot at total loss: every send is dropped anyway,
+        # so the drop total (and everything else) is unchanged.
+        dead = tree_edge_ids(packing, 0)
+        rep2 = redundant_broadcast(
+            g, pl, packing, redundancy=packing.size, drop_rate=1.0, dead_edges=dead
+        )
+        assert rep2.dropped_messages == rep.dropped_messages
+        assert rep2.per_message_coverage == rep.per_message_coverage
+
+
+class TestCombinedFaultSources:
+    """dead_edges + mobile + drop_rate compose (ISSUE 5 satellite)."""
+
+    def test_channel_disjoint_fault_sources_drop_additively(self, setup):
+        """Broadcast channels are independent, so faults confined to
+        distinct trees account for exactly their separate drop totals."""
+        g, packing, pl = setup
+        dead0 = tree_edge_ids(packing, 0)
+        mobile1 = {r: tree_edge_ids(packing, 1) for r in range(1, 60)}
+        only_dead = redundant_broadcast(g, pl, packing, dead_edges=dead0)
+        only_mobile = redundant_broadcast(g, pl, packing, mobile=mobile1)
+        both = redundant_broadcast(g, pl, packing, dead_edges=dead0, mobile=mobile1)
+        # (Round totals may differ between scenarios — a starved channel
+        # finishes early — but per-channel dynamics are independent, so the
+        # drop totals of faults confined to distinct trees add up exactly.)
+        assert (
+            both.dropped_messages
+            == only_dead.dropped_messages + only_mobile.dropped_messages
+        )
+        # And coverage composes: a message is lost in the combined run iff
+        # it is lost in (at least) one of the single-source runs.
+        for j in both.per_message_coverage:
+            assert both.per_message_coverage[j] == min(
+                only_dead.per_message_coverage[j],
+                only_mobile.per_message_coverage[j],
+            )
+
+    def test_adding_drop_rate_only_adds_drops(self, setup):
+        g, packing, pl = setup
+        dead0 = tree_edge_ids(packing, 0)
+        base = redundant_broadcast(g, pl, packing, dead_edges=dead0)
+        noisy = redundant_broadcast(
+            g, pl, packing, dead_edges=dead0, drop_rate=0.05, fault_seed=11
+        )
+        assert noisy.dropped_messages > base.dropped_messages
+        assert all(
+            noisy.per_message_coverage[j] <= base.per_message_coverage[j] + 1e-12
+            for j in base.per_message_coverage
+        )
+
+    @pytest.mark.parametrize("backend", ["simulator", "vectorized"])
+    def test_fault_rng_independent_of_protocol_rng(self, setup, backend):
+        """Varying only fault_seed re-rolls which deliveries fail but never
+        which messages exist or how they are numbered/assigned."""
+        g, packing, pl = setup
+        a = redundant_broadcast(
+            g, pl, packing, redundancy=2, drop_rate=0.1, seed=3, fault_seed=1,
+            backend=backend,
+        )
+        b = redundant_broadcast(
+            g, pl, packing, redundancy=2, drop_rate=0.1, seed=3, fault_seed=2,
+            backend=backend,
+        )
+        assert set(a.per_message_coverage) == set(b.per_message_coverage)
+        assert a.k == b.k
+        assert a.per_message_coverage != b.per_message_coverage  # faults re-rolled
+        # And the converse: the protocol seed feeds only the (unused) node
+        # RNGs, so varying it alone changes nothing at all.
+        c = redundant_broadcast(
+            g, pl, packing, redundancy=2, drop_rate=0.1, seed=4, fault_seed=1,
+            backend=backend,
+        )
+        assert c.per_message_coverage == a.per_message_coverage
+        assert c.dropped_messages == a.dropped_messages
+
+    def test_protocol_rng_streams_untouched_by_faults(self):
+        """A program's ctx.rng draws are identical whatever the fault seed —
+        the fault RNG is a dedicated stream, not a tap on the node RNGs."""
+
+        class _Draw(NodeProgram):
+            def __init__(self, node):
+                super().__init__()
+                self.node = node
+
+            def on_start(self, ctx):
+                self.output["draw"] = float(ctx.rng.random())
+                ctx.send_all((1,))
+
+            def on_round(self, ctx):
+                pass
+
+        g = cycle_graph(8)
+        draws = []
+        for fault_seed in (1, 2):
+            sim = FaultySimulator(
+                Network(g), _Draw, drop_rate=0.7, fault_seed=fault_seed, seed=123
+            )
+            result = sim.run()
+            assert sim.dropped > 0
+            draws.append(result.outputs("draw"))
+        assert draws[0] == draws[1]
+
+
+class TestAdversarySchedules:
+    def test_plans_merge_and_compose(self):
+        a = FaultPlan(dead_edges={1, 2}, drop_rate=0.5, mobile={3: {4}})
+        b = FaultPlan(dead_edges={2, 5}, drop_rate=0.5, mobile={3: {6}, 7: {8}})
+        m = a.merged(b)
+        assert m.dead_edges == frozenset({1, 2, 5})
+        assert m.mobile == {3: frozenset({4, 6}), 7: frozenset({8})}
+        assert m.drop_rate == pytest.approx(0.75)  # independent coins
+        assert FaultPlan().is_null and not m.is_null
+
+    def test_invalid_plan_rejected(self):
+        with pytest.raises(ValidationError):
+            FaultPlan(drop_rate=1.5)
+        with pytest.raises(ValidationError):
+            RandomLoss(-0.2)
+
+    def test_static_saboteur_targets_a_tree(self, setup):
+        g, packing, pl = setup
+        plan = StaticSaboteur(tree_index=0).compile(g, packing=packing)
+        assert plan.dead_edges == frozenset(tree_edge_ids(packing, 0))
+        with pytest.raises(ValidationError):
+            StaticSaboteur(tree_index=0).compile(g)  # needs the packing
+
+    def test_sweeping_mobile_respects_budget(self):
+        g = thick_cycle(6, 4)
+        adv = MobileAdversary.sweeping(range(g.m), budget=3, rounds=10, start=2)
+        plan = adv.compile(g)
+        assert set(plan.mobile) == set(range(2, 12))
+        assert all(len(es) == 3 for es in plan.mobile.values())
+        covered = set().union(*plan.mobile.values())
+        assert covered <= set(range(g.m))
+
+    def test_composition_equals_explicit_args(self, setup):
+        """An adversary schedule and the equivalent explicit triple produce
+        the same report (the schedule is sugar, not new semantics)."""
+        g, packing, pl = setup
+        dead = tree_edge_ids(packing, 0)
+        adv = StaticSaboteur(dead) + RandomLoss(0.1) + MobileAdversary({4: {0, 1}})
+        via_schedule = redundant_broadcast(
+            g, pl, packing, redundancy=2, adversary=adv, seed=7
+        )
+        explicit = redundant_broadcast(
+            g, pl, packing, redundancy=2, dead_edges=dead, drop_rate=0.1,
+            mobile={4: {0, 1}}, seed=7,
+        )
+        assert via_schedule.per_message_coverage == explicit.per_message_coverage
+        assert via_schedule.dropped_messages == explicit.dropped_messages
+        assert compose_schedules(StaticSaboteur(dead)).compile(g).dead_edges == frozenset(dead)
+
+    def test_targeted_cut_adversary_compiles_deterministically(self, setup):
+        g, packing, pl = setup
+        adv = TargetedCutAdversary(eps=0.5, budget=8, candidates=4, seed=3, tau=2)
+        p1 = adv.compile(g, packing=packing)
+        p2 = TargetedCutAdversary(
+            eps=0.5, budget=8, candidates=4, seed=3, tau=2
+        ).compile(g, packing=packing)
+        assert p1.dead_edges == p2.dead_edges
+        assert 0 < len(p1.dead_edges) <= 8
+        assert p1.drop_rate == 0.0 and not p1.mobile
+
+    def test_targeted_cut_unbudgeted_isolates_lightest_cut(self, setup):
+        """With no budget the attacker kills its lightest candidate cut
+        whole — redundancy cannot route around a severed cut, which is
+        exactly the Theorem 1 bandwidth argument in reverse."""
+        g, packing, pl = setup
+        adv = TargetedCutAdversary(eps=0.5, candidates=4, seed=3, tau=2)
+        rep = redundant_broadcast(
+            g, pl, packing, redundancy=packing.size, adversary=adv, seed=7
+        )
+        assert rep.min_coverage < 1.0
+
+
+class TestBackendReportEquality:
+    """Spot equality here; the randomized sweep lives in the engine tests."""
+
+    def test_reports_bit_identical(self, setup):
+        g, packing, pl = setup
+        kwargs = dict(
+            redundancy=2,
+            dead_edges=tree_edge_ids(packing, 1),
+            drop_rate=0.15,
+            mobile={3: {0, 1, 2}},
+            seed=9,
+            fault_seed=10,
+            collect_receipts=True,
+        )
+        sim = redundant_broadcast(g, pl, packing, **kwargs)
+        vec = redundant_broadcast(g, pl, packing, backend="vectorized", **kwargs)
+        assert sim.rounds == vec.rounds
+        assert sim.dropped_messages == vec.dropped_messages
+        assert sim.per_message_coverage == vec.per_message_coverage
+        assert sim.receipts == vec.receipts
+        assert sim.fault_rng_state == vec.fault_rng_state
+        assert (sim.backend, vec.backend) == ("simulator", "vectorized")
