@@ -18,8 +18,6 @@ Three ablations the DESIGN.md constants bake in:
 
 from __future__ import annotations
 
-import numpy as np
-
 from benchmarks.conftest import run_once
 from repro.core import (
     build_tree_packing,
@@ -35,6 +33,7 @@ from repro.core.broadcast import _bfs_view
 from repro.graphs import thick_cycle
 from repro.primitives.pipeline import run_tree_broadcast
 from repro.util.errors import ValidationError
+from repro.util.rng import rng_from_seed
 from repro.util.tables import Table
 
 
@@ -74,7 +73,7 @@ def _ablate_assignment(g, lam, k):
     parts = num_parts(lam, g.n, C=1.5)
     packing, _ = build_packing_with_retry(g, parts, seed=3, distributed=False)
     trees = {c: _bfs_view(packing, c) for c in range(parts)}
-    rng = np.random.default_rng(4)
+    rng = rng_from_seed(4)
     owners = rng.integers(g.n, size=k)
 
     def placement_for(policy: str):

@@ -35,7 +35,7 @@ import os
 import time
 
 from benchmarks.conftest import run_once, write_bench_artifact
-from repro.congest import MobileAdversary, RandomLoss, StaticSaboteur
+from repro.congest import MobileAdversary
 from repro.core import (
     build_packing_with_retry,
     redundant_broadcast,

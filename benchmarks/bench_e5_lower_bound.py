@@ -21,7 +21,6 @@ from repro.core import (
     cut_adversarial_placement,
     fast_broadcast,
     textbook_broadcast,
-    uniform_random_placement,
 )
 from repro.graphs import min_cut, thick_cycle
 from repro.lower_bounds import (
@@ -31,6 +30,7 @@ from repro.lower_bounds import (
     verify_broadcast_meets_bound,
 )
 from repro.util.bits import message_bit_budget
+from repro.util.rng import rng_from_seed
 from repro.util.tables import Table
 
 import numpy as np
@@ -84,7 +84,7 @@ def run_experiment():
     )
     inst = theorem9_instance(120, 8, alpha=2.0, seed=3)
     exact = inst.exact_distances_from_v1()
-    rng = np.random.default_rng(4)
+    rng = rng_from_seed(4)
     approx = exact * (1.0 + rng.random(inst.n) * (inst.alpha - 1.0))
     decoded = decode_exponents(inst, approx)
     ok = bool(np.array_equal(decoded, inst.exponents))

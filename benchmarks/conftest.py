@@ -21,7 +21,6 @@ import json
 import os
 from pathlib import Path
 
-import pytest
 
 
 def run_once(benchmark, fn):

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.cuts import approx_all_cuts, evaluate_cut_quality
 from repro.graphs import cut_value, edge_connectivity, min_cut, thick_cycle
+from repro.util.rng import rng_from_seed
 
 
 def main() -> None:
@@ -30,7 +31,7 @@ def main() -> None:
           f"CONGEST rounds — after this, every node holds the sparsifier\n")
 
     # Every node can now answer cut queries locally. Demonstrate three:
-    rng = np.random.default_rng(5)
+    rng = rng_from_seed(5)
     queries = {
         "random half": rng.random(g.n) < 0.5,
         "one group": np.arange(g.n) < 18,

@@ -1,0 +1,119 @@
+"""RNG discipline: all randomness flows through ``repro.util.rng``.
+
+The backends' bit-identity guarantee covers *RNG consumption*: simulator
+and vectorized runs must draw the same numbers in the same order. That only
+holds if every random draw comes from an explicitly-threaded
+``np.random.Generator`` built by ``ensure_rng``/``rng_from_seed`` and split
+with ``spawn_rngs``/``derive_seed``. A single ``np.random.rand()`` (hidden
+global stream) or ad-hoc ``np.random.default_rng()`` breaks replay without
+failing any functional test — exactly the drift class this checker kills:
+
+* ``rng-module-call`` — calls into the ``np.random`` module surface
+  (``np.random.seed``, ``np.random.rand``, ``np.random.default_rng``, ...),
+  including ``from numpy.random import default_rng``-style imports.
+* ``rng-stdlib-random`` — stdlib ``random`` imported at all (its global
+  Mersenne Twister is invisible to the replay machinery).
+* ``rng-generator-construct`` — ``np.random.Generator`` / bit-generator
+  construction anywhere outside ``repro/util/rng.py``, the one blessed
+  construction site.
+
+``repro/util/rng.py`` itself is exempt: it is the discipline's home.
+Non-call references (type annotations, ``isinstance`` checks against
+``np.random.Generator``) are always legal.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.model import Finding
+from repro.analysis.walker import ModuleInfo
+
+__all__ = ["check_rng_discipline"]
+
+#: Constructing any of these outside util/rng.py is rng-generator-construct.
+GENERATOR_CONSTRUCTORS = frozenset(
+    {
+        "Generator", "BitGenerator", "SeedSequence", "RandomState",
+        "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64",
+    }
+)
+
+
+def _is_rng_home(info: ModuleInfo) -> bool:
+    return info.path.as_posix().endswith("repro/util/rng.py")
+
+
+def _np_random_value(info: ModuleInfo, node: ast.expr) -> bool:
+    """True when ``node`` syntactically denotes the ``numpy.random`` module."""
+    if isinstance(node, ast.Name):
+        return node.id in info.numpy_random_aliases
+    if isinstance(node, ast.Attribute):
+        return node.attr == "random" and isinstance(node.value, ast.Name) and (
+            node.value.id in info.numpy_aliases
+        )
+    return False
+
+
+def check_rng_discipline(info: ModuleInfo) -> list[Finding]:
+    if _is_rng_home(info):
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    findings += info.finding(
+                        "rng-stdlib-random",
+                        node,
+                        "stdlib random imported; use "
+                        "repro.util.rng.ensure_rng/spawn_rngs instead",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "random" or module.startswith("random."):
+                findings += info.finding(
+                    "rng-stdlib-random",
+                    node,
+                    "stdlib random imported; use "
+                    "repro.util.rng.ensure_rng/spawn_rngs instead",
+                )
+            elif module == "numpy.random":
+                for alias in node.names:
+                    if alias.name in GENERATOR_CONSTRUCTORS:
+                        findings += info.finding(
+                            "rng-generator-construct",
+                            node,
+                            f"numpy.random.{alias.name} imported for "
+                            "construction outside repro/util/rng.py; build "
+                            "generators with rng_from_seed/ensure_rng",
+                        )
+                    else:
+                        findings += info.finding(
+                            "rng-module-call",
+                            node,
+                            f"numpy.random.{alias.name} imported; route "
+                            "randomness through repro.util.rng "
+                            "(ensure_rng/rng_from_seed/spawn_rngs/derive_seed)",
+                        )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and _np_random_value(info, func.value):
+                if func.attr in GENERATOR_CONSTRUCTORS:
+                    findings += info.finding(
+                        "rng-generator-construct",
+                        func,
+                        f"np.random.{func.attr}(...) constructed outside "
+                        "repro/util/rng.py; use rng_from_seed/ensure_rng so "
+                        "streams stay replayable",
+                    )
+                else:
+                    findings += info.finding(
+                        "rng-module-call",
+                        func,
+                        f"np.random.{func.attr}(...) call; module-level "
+                        "np.random state breaks the identical-RNG-consumption "
+                        "guarantee — use repro.util.rng "
+                        "(ensure_rng/rng_from_seed/spawn_rngs/derive_seed)",
+                    )
+    return findings

@@ -93,7 +93,6 @@ def approx_apsp_unweighted(
         backend=backend,
     )
 
-    n = graph.n
     s = clustering.s
     dgc = prt.dist  # exact distances on the cluster graph
     estimate = 3 * dgc[s][:, s] + 2

@@ -241,6 +241,22 @@ def _cmd_resilience(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import RULES, run_lint
+
+    if args.list_rules:
+        width = max(len(r) for r in RULES)
+        for rule, desc in sorted(RULES.items()):
+            print(f"{rule:<{width}}  {desc}")
+        return 0
+    report = run_lint(args.paths or None, project_root=args.project_root)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.format_text())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -332,6 +348,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fault-coin seed (defaults to --seed; independent "
                    "of the protocol RNG)")
     p.set_defaults(fn=_cmd_resilience)
+
+    p = sub.add_parser(
+        "lint",
+        help="static invariant checks: CONGEST legality, RNG discipline, "
+        "bit accounting, backend parity",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to scan (default: src benchmarks examples "
+        "under --project-root)",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument(
+        "--project-root",
+        default=".",
+        help="anchor for display paths and the backend-parity "
+        "cross-references (default: cwd)",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true", help="print every rule id and exit"
+    )
+    p.set_defaults(fn=_cmd_lint)
 
     return parser
 

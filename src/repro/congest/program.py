@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from typing import Any
 
-import numpy as np
 
 from repro.util.errors import BandwidthExceeded, ProtocolError
 

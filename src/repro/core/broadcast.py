@@ -31,7 +31,6 @@ import numpy as np
 from repro.core.decomposition import (
     Decomposition,
     num_parts,
-    random_partition,
 )
 from repro.core.tree_packing import TreePacking, build_tree_packing
 from repro.graphs.graph import Graph

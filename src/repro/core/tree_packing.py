@@ -47,7 +47,6 @@ class SpanningTree:
     depth_of: np.ndarray
 
     def __post_init__(self):
-        n = len(self.parent)
         if np.any(self.parent < 0):
             raise ValidationError("tree does not span: node without parent")
         if self.parent[self.root] != self.root:

@@ -30,6 +30,9 @@ __all__ = [
     "check_numbering",
     "check_tree_broadcast",
     "check_broadcast_pipeline",
+    "check_combined_broadcast",
+    "check_unknown_lambda_broadcast",
+    "check_weighted_apsp",
     "check_clustering",
     "check_spanner",
     "check_sparsifier",
@@ -225,6 +228,133 @@ def check_broadcast_pipeline(graph: Graph, k: int, seed, lam: int | None = None)
             out.append("fast: congestion differs")
         if fsim.packing_max_depth != fvec.packing_max_depth:
             out.append("fast: packing depth differs")
+    return out
+
+
+def check_combined_broadcast(graph: Graph, k: int, seed) -> list[str]:
+    """Section 3.2's min(textbook, fast): both backends must predict the
+    same winner and report identical phase ledgers."""
+    from repro.core.broadcast import combined_broadcast, uniform_random_placement
+    from repro.util.errors import ValidationError
+
+    placement = uniform_random_placement(graph.n, k, seed=seed)
+
+    def attempt(backend):
+        try:
+            return combined_broadcast(
+                graph, placement, seed=seed, backend=backend
+            ), None
+        except ValidationError as err:
+            return None, str(err)
+
+    sim, esim = attempt("simulator")
+    vec, evec = attempt("vectorized")
+    if (sim is None) != (vec is None) or (sim is None and esim != evec):
+        return [f"combined: backends disagree on failure (sim={esim!r}, vec={evec!r})"]
+    if sim is None:
+        return []
+    out = []
+    if sim.algorithm != vec.algorithm:
+        out.append(f"combined: winner {sim.algorithm} != {vec.algorithm}")
+    if sim.phases != vec.phases:
+        out.append(f"combined: phases {sim.phases} != {vec.phases}")
+    if sim.max_congestion != vec.max_congestion:
+        out.append("combined: congestion differs")
+    return out
+
+
+def check_unknown_lambda_broadcast(graph: Graph, k: int, seed) -> list[str]:
+    """§1.1 Remark: the λ-unknown broadcast — the full exponential-search
+    trace (guesses, per-iteration validation rounds, seeds) plus the final
+    broadcast ledger must be identical across backends."""
+    from repro.core.broadcast import uniform_random_placement
+    from repro.core.lambda_search import broadcast_unknown_lambda
+    from repro.util.errors import ValidationError
+
+    placement = uniform_random_placement(graph.n, k, seed=seed)
+
+    def attempt(backend):
+        try:
+            return broadcast_unknown_lambda(
+                graph, placement, seed=seed, backend=backend
+            ), None
+        except ValidationError as err:
+            return None, str(err)
+
+    sim, esim = attempt("simulator")
+    vec, evec = attempt("vectorized")
+    if (sim is None) != (vec is None) or (sim is None and esim != evec):
+        return [
+            f"unknown-lambda: backends disagree on failure "
+            f"(sim={esim!r}, vec={evec!r})"
+        ]
+    if sim is None:
+        return []
+    (sres, ssearch), (vres, vsearch) = sim, vec
+    out = []
+    if sres.phases != vres.phases:
+        out.append(f"unknown-lambda: phases {sres.phases} != {vres.phases}")
+    if sres.max_congestion != vres.max_congestion:
+        out.append("unknown-lambda: congestion differs")
+    if ssearch.guesses != vsearch.guesses:
+        out.append(
+            f"unknown-lambda: guess traces {ssearch.guesses} != {vsearch.guesses}"
+        )
+    if ssearch.validation_rounds != vsearch.validation_rounds:
+        out.append("unknown-lambda: validation rounds differ")
+    if ssearch.seeds != vsearch.seeds:
+        out.append("unknown-lambda: iteration seeds differ")
+    if ssearch.accepted_guess != vsearch.accepted_guess:
+        out.append(
+            f"unknown-lambda: accepted guess {ssearch.accepted_guess} != "
+            f"{vsearch.accepted_guess}"
+        )
+    return out
+
+
+def check_weighted_apsp(graph: Graph, k: int, seed) -> list[str]:
+    """Theorem 5 end to end: spanner, estimates, and both round ledgers.
+
+    Unweighted hosts get deterministic random weights first, so the check
+    is runnable on any sweep graph.
+    """
+    from repro.apsp.weighted import approx_apsp_weighted
+    from repro.graphs.generators import random_weights
+    from repro.util.errors import ValidationError
+
+    if graph.weights is None:
+        graph = random_weights(graph, seed=seed)
+
+    def attempt(backend):
+        try:
+            return approx_apsp_weighted(graph, k, seed=seed, backend=backend), None
+        except ValidationError as err:
+            return None, str(err)
+
+    sim, esim = attempt("simulator")
+    vec, evec = attempt("vectorized")
+    if (sim is None) != (vec is None) or (sim is None and esim != evec):
+        return [
+            f"weighted-apsp: backends disagree on failure "
+            f"(sim={esim!r}, vec={evec!r})"
+        ]
+    if sim is None:
+        return []
+    out = _diff_graph(sim.spanner.spanner, vec.spanner.spanner, "weighted-apsp")
+    if not np.array_equal(sim.spanner.edge_ids, vec.spanner.edge_ids):
+        out.append("weighted-apsp: spanner edge ids differ")
+    if not np.array_equal(sim.estimate, vec.estimate):
+        out.append("weighted-apsp: estimates differ")
+    if sim.simulated_rounds != vec.simulated_rounds:
+        out.append(
+            f"weighted-apsp: simulated rounds {sim.simulated_rounds} != "
+            f"{vec.simulated_rounds}"
+        )
+    if sim.charged_rounds != vec.charged_rounds:
+        out.append(
+            f"weighted-apsp: charged rounds {sim.charged_rounds} != "
+            f"{vec.charged_rounds}"
+        )
     return out
 
 
@@ -549,10 +679,13 @@ def verify_equivalence(
             check_leader(g),
             check_numbering(g, rng.integers(0, 4, size=g.n)),
             check_tree_broadcast(g, masks, k, seed=3000 * seed + t, roots=[root] * parts),
+            check_combined_broadcast(g, k, seed=3500 * seed + t),
+            check_unknown_lambda_broadcast(g, k, seed=3700 * seed + t),
             check_clustering(g, seed=4000 * seed + t),
             check_spanner(gw, 2 + t % 3, seed=5000 * seed + t),
             check_sparsifier(gw, eps=0.5, seed=6000 * seed + t, tau=2),
             check_apsp_pipeline(g, seed=7000 * seed + t),
+            check_weighted_apsp(gw, 2 + t % 3, seed=7500 * seed + t),
             check_cuts_pipeline(g, eps=0.5, seed=8000 * seed + t, tau=2),
             check_faulty_bfs(
                 g,

@@ -23,7 +23,6 @@ from dataclasses import dataclass, field
 from repro.core.decomposition import num_parts, random_partition
 from repro.core.tree_packing import build_tree_packing
 from repro.graphs.generators import ghaffari_kuhn_family
-from repro.graphs.graph import Graph
 from repro.graphs.properties import approx_diameter
 
 __all__ = ["PackingDiameterReport", "measure_packing_diameters", "theorem13_prediction"]

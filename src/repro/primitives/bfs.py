@@ -24,7 +24,7 @@ frontier sweeps (see :mod:`repro.engine`), two orders of magnitude faster.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

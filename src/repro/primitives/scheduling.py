@@ -27,7 +27,6 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.congest.metrics import Metrics
 from repro.congest.network import Network

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 
-from repro.core.decomposition import num_parts, theorem2_diameter_bound
+from repro.core.decomposition import num_parts
 from repro.util.errors import ValidationError
 
 __all__ = [

@@ -8,6 +8,10 @@ guarantees — when a w.h.p. event fails (it can, for tiny constants), the
 caller finds out immediately.
 """
 
+from __future__ import annotations
+
+from typing import Any
+
 
 class ReproError(Exception):
     """Base class for all errors raised by :mod:`repro`."""
@@ -20,7 +24,7 @@ class ValidationError(ReproError):
     can introspect what went wrong without parsing the message string.
     """
 
-    def __init__(self, message: str, **details):
+    def __init__(self, message: str, **details: Any) -> None:
         super().__init__(message)
         self.details = details
 

@@ -17,7 +17,6 @@ color, exactly like the paper's "let u decide" convention but symmetric.
 from __future__ import annotations
 
 import hashlib
-from typing import Sequence
 
 import numpy as np
 

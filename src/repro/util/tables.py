@@ -12,7 +12,7 @@ from typing import Any, Iterable, Sequence
 __all__ = ["Table", "format_float"]
 
 
-def format_float(x: float, digits: int = 3) -> str:
+def format_float(x: float | None, digits: int = 3) -> str:
     """Compact float formatting: integers render bare, others fixed-point."""
     if x is None:
         return "-"
@@ -33,7 +33,7 @@ class Table:
     >>> print(t.render())  # doctest: +SKIP
     """
 
-    def __init__(self, columns: Sequence[str], title: str | None = None):
+    def __init__(self, columns: Sequence[str], title: str | None = None) -> None:
         self.columns = list(columns)
         self.title = title
         self.rows: list[list[str]] = []

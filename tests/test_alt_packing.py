@@ -2,7 +2,6 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.core import (
@@ -13,7 +12,6 @@ from repro.core import (
 from repro.graphs import (
     complete_graph,
     cycle_graph,
-    edge_connectivity,
     path_graph,
     random_regular,
 )

@@ -18,8 +18,6 @@ from repro.apsp import (
 )
 from repro.graphs import (
     all_pairs_distances,
-    complete_graph,
-    cycle_graph,
     random_regular,
     random_weights,
     thick_cycle,

@@ -4,7 +4,7 @@ bandwidth enforcement, metrics."""
 import numpy as np
 import pytest
 
-from repro.congest import Context, Metrics, Network, NodeProgram, Simulator
+from repro.congest import Metrics, Network, NodeProgram, Simulator
 from repro.graphs import Graph, complete_graph, cycle_graph, path_graph
 from repro.util.errors import BandwidthExceeded, ProtocolError, ReproError
 

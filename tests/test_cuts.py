@@ -13,7 +13,6 @@ from repro.cuts import (
 from repro.graphs import (
     complete_graph,
     cut_value,
-    random_regular,
     random_weights,
     stoer_wagner,
     thick_cycle,

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    Decomposition,
     num_parts,
     random_partition,
     theorem2_diameter_bound,

@@ -23,6 +23,7 @@ from repro.engine.verify import (
     check_bfs,
     check_broadcast_pipeline,
     check_clustering,
+    check_combined_broadcast,
     check_cuts_pipeline,
     check_faulty_bfs,
     check_leader,
@@ -32,6 +33,8 @@ from repro.engine.verify import (
     check_spanner,
     check_sparsifier,
     check_tree_broadcast,
+    check_unknown_lambda_broadcast,
+    check_weighted_apsp,
     random_connected_graph,
     random_edge_masks,
     random_fault_plan,
@@ -186,6 +189,29 @@ class TestEndToEndBroadcast:
     def test_random_graph_ledgers_match(self, n, extra, seed, k):
         g = random_connected_graph(n, extra, seed=seed)
         assert check_broadcast_pipeline(g, k, seed=seed) == []
+
+    def test_combined_broadcast_winner_and_ledgers_match(self):
+        g = thick_cycle(8, 6)
+        assert check_combined_broadcast(g, 24, seed=7) == []
+
+    @_SETTINGS
+    @given(
+        n=st.integers(4, 12),
+        extra=st.integers(4, 16),
+        seed=st.integers(0, 10_000),
+        k=st.integers(1, 12),
+    )
+    def test_combined_broadcast_random_graphs(self, n, extra, seed, k):
+        g = random_connected_graph(n, extra, seed=seed)
+        assert check_combined_broadcast(g, k, seed=seed) == []
+
+    def test_unknown_lambda_trace_matches(self):
+        g = thick_cycle(6, 5)
+        assert check_unknown_lambda_broadcast(g, 12, seed=3) == []
+
+    def test_weighted_apsp_ledgers_match(self):
+        g = random_weights(thick_cycle(6, 5), seed=2)
+        assert check_weighted_apsp(g, 2, seed=4) == []
 
     def test_vectorized_fast_broadcast_delivers(self):
         g = thick_cycle(10, 8)
@@ -423,5 +449,5 @@ class TestFaultEngineEquivalence:
 class TestHarnessSweep:
     def test_randomized_sweep_is_clean(self):
         report = verify_equivalence(trials=6, seed=11, max_n=20)
-        assert report.checks == 6 * 13
+        assert report.checks == 6 * 16
         assert report.ok, report.mismatches

@@ -16,8 +16,6 @@ from repro.core import (
 )
 from repro.graphs import (
     bfs_distances,
-    diameter,
-    edge_connectivity,
     min_cut,
     random_regular,
     thick_cycle,

@@ -1,0 +1,395 @@
+"""Tests for ``repro lint`` (:mod:`repro.analysis`).
+
+Three layers:
+
+* **True positives** — one fixture per rule id, violating that rule exactly
+  once; asserts the rule fires at the expected line and nothing else does.
+* **Suppressions** — line and file ``# repro-lint: disable`` comments
+  silence exactly the named rule.
+* **No false positives** — a full :func:`repro.analysis.run_lint` pass over
+  the real tree (src, benchmarks, examples) must come back clean; this is
+  the same invocation CI runs.
+
+The CLI tests shell out to ``python -m repro lint`` to pin the JSON schema
+and the exit-code contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    RULES,
+    Finding,
+    check_backend_parity,
+    check_bit_accounting,
+    check_congest_legality,
+    check_rng_discipline,
+    run_lint,
+)
+from repro.analysis.walker import parse_module
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _parse(tmp_path: Path, source: str, name: str = "fixture.py"):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    info = parse_module(path, display_path=name)
+    assert not isinstance(info, Finding), getattr(info, "message", None)
+    return info
+
+
+def _only(findings: list[Finding], rule: str) -> Finding:
+    """Assert the fixture produced exactly one finding, of ``rule``."""
+    assert [f.rule for f in findings] == [rule]
+    return findings[0]
+
+
+class TestCongestLegality:
+    def test_global_read_of_mutable_module_state(self, tmp_path):
+        info = _parse(
+            tmp_path,
+            """\
+            from repro.congest import NodeProgram
+
+            phase_table = {}
+
+            class P(NodeProgram):
+                def on_round(self, ctx):
+                    ctx.send_all(len(phase_table))
+            """,
+        )
+        f = _only(check_congest_legality(info), "congest-global-read")
+        assert f.line == 7  # the read inside on_round, not the definition
+
+    def test_graph_parameter_is_flagged(self, tmp_path):
+        info = _parse(
+            tmp_path,
+            """\
+            from repro.congest import NodeProgram
+
+            class P(NodeProgram):
+                def on_start(self, ctx, graph):
+                    ctx.wake()
+            """,
+        )
+        f = _only(check_congest_legality(info), "congest-graph-state")
+        assert f.line == 4
+
+    def test_self_graph_attribute_is_flagged(self, tmp_path):
+        info = _parse(
+            tmp_path,
+            """\
+            from repro.congest import NodeProgram
+
+            class P(NodeProgram):
+                def on_round(self, ctx):
+                    ctx.send_all(self.graph.n)
+            """,
+        )
+        f = _only(check_congest_legality(info), "congest-graph-state")
+        assert f.line == 5
+
+    def test_private_context_attribute_is_flagged(self, tmp_path):
+        info = _parse(
+            tmp_path,
+            """\
+            from repro.congest import NodeProgram
+
+            class P(NodeProgram):
+                def on_round(self, ctx):
+                    ctx._outbox.clear()
+            """,
+        )
+        f = _only(check_congest_legality(info), "congest-context-api")
+        assert f.line == 5
+
+    def test_legal_program_is_clean(self, tmp_path):
+        info = _parse(
+            tmp_path,
+            """\
+            from repro.congest import NodeProgram
+
+            ANNOUNCE = 1  # protocol constant: legal to read
+
+            class P(NodeProgram):
+                def __init__(self, color):
+                    self.color = color
+
+                def on_round(self, ctx):
+                    for src, payload in ctx.inbox:
+                        if payload == ANNOUNCE:
+                            ctx.send(src, (self.color, ctx.round))
+                    if ctx.round > ctx.n:
+                        ctx.halt()
+            """,
+        )
+        assert check_congest_legality(info) == []
+
+    def test_non_program_classes_are_ignored(self, tmp_path):
+        info = _parse(
+            tmp_path,
+            """\
+            registry = {}
+
+            class Driver:
+                def run(self, graph):
+                    registry[graph.n] = self
+            """,
+        )
+        assert check_congest_legality(info) == []
+
+
+class TestRngDiscipline:
+    def test_np_random_module_call(self, tmp_path):
+        info = _parse(
+            tmp_path,
+            """\
+            import numpy as np
+
+            def noise(n):
+                return np.random.rand(n)
+            """,
+        )
+        f = _only(check_rng_discipline(info), "rng-module-call")
+        assert f.line == 4
+
+    def test_stdlib_random_import(self, tmp_path):
+        info = _parse(tmp_path, "import random\n")
+        f = _only(check_rng_discipline(info), "rng-stdlib-random")
+        assert f.line == 1
+
+    def test_generator_construction(self, tmp_path):
+        info = _parse(
+            tmp_path,
+            """\
+            import numpy as np
+
+            def make(seed):
+                return np.random.Generator(np.random.PCG64(seed))
+            """,
+        )
+        findings = check_rng_discipline(info)
+        assert [f.rule for f in findings] == ["rng-generator-construct"] * 2
+        assert {f.line for f in findings} == {4}
+
+    def test_rng_home_is_exempt(self, tmp_path):
+        info = _parse(
+            tmp_path,
+            """\
+            import numpy as np
+
+            def rng_from_seed(seed):
+                return np.random.Generator(np.random.PCG64(seed))
+            """,
+            name="repro/util/rng.py",
+        )
+        assert check_rng_discipline(info) == []
+
+    def test_isinstance_reference_is_legal(self, tmp_path):
+        info = _parse(
+            tmp_path,
+            """\
+            import numpy as np
+
+            def ensure(rng):
+                return isinstance(rng, np.random.Generator)
+            """,
+        )
+        assert check_rng_discipline(info) == []
+
+
+class TestBitAccounting:
+    def test_dict_payload_is_flagged(self, tmp_path):
+        info = _parse(
+            tmp_path,
+            """\
+            def announce(ctx):
+                ctx.send(0, {"phase": 1})
+            """,
+        )
+        f = _only(check_bit_accounting(info), "bits-unpriced-payload")
+        assert f.line == 2
+        assert "dict" in f.message
+
+    def test_priced_payloads_are_clean(self, tmp_path):
+        info = _parse(
+            tmp_path,
+            """\
+            def announce(ctx, color):
+                ctx.send(0, (color, ctx.round))
+                ctx.send_all("token")
+                ctx.send_all(None)
+                ctx.send_all(compute(color))  # unknown static type: not flagged
+            """,
+        )
+        assert check_bit_accounting(info) == []
+
+
+class TestBackendParity:
+    def _modules(self, tmp_path, test_source: str):
+        src = _parse(
+            tmp_path,
+            """\
+            def certified(graph, backend="simulator"):
+                return graph
+
+            def drifting(graph, backend="simulator"):
+                return graph
+            """,
+            name="src/repro/algo.py",
+        )
+        verify = _parse(
+            tmp_path,
+            """\
+            from repro.algo import certified
+
+            def check_certified(graph, seed):
+                certified(graph, backend="vectorized")
+
+            def check_orphan(graph, seed):
+                pass
+
+            def verify_equivalence(graphs):
+                for g in graphs:
+                    check_certified(g, 0)
+            """,
+            name="src/repro/engine/verify.py",
+        )
+        tests = _parse(tmp_path, test_source, name="tests/test_engine_equivalence.py")
+        return src, verify, tests
+
+    def test_uncovered_entry_point_and_orphan_check(self, tmp_path):
+        src, verify, tests = self._modules(
+            tmp_path, "from repro.engine.verify import check_certified\n"
+        )
+        findings = check_backend_parity([src, verify], verify, tests)
+        by_rule = {f.rule: f for f in findings}
+        assert set(by_rule) == {"parity-unverified-backend", "parity-untested-check"}
+        assert by_rule["parity-unverified-backend"].line == 4  # drifting()
+        assert "drifting" in by_rule["parity-unverified-backend"].message
+        assert "check_orphan" in by_rule["parity-untested-check"].message
+
+    def test_test_reference_covers_both(self, tmp_path):
+        src, verify, tests = self._modules(
+            tmp_path,
+            """\
+            from repro.engine.verify import check_certified, check_orphan
+            from repro.algo import drifting
+            """,
+        )
+        assert check_backend_parity([src, verify], verify, tests) == []
+
+
+class TestSuppressions:
+    def test_line_suppression_silences_named_rule(self, tmp_path):
+        info = _parse(
+            tmp_path,
+            """\
+            import numpy as np
+
+            def noise(n):
+                return np.random.rand(n)  # repro-lint: disable=rng-module-call
+            """,
+        )
+        assert check_rng_discipline(info) == []
+
+    def test_line_suppression_is_rule_specific(self, tmp_path):
+        info = _parse(
+            tmp_path,
+            """\
+            import numpy as np
+
+            def noise(n):
+                return np.random.rand(n)  # repro-lint: disable=bits-unpriced-payload
+            """,
+        )
+        _only(check_rng_discipline(info), "rng-module-call")
+
+    def test_file_suppression(self, tmp_path):
+        info = _parse(
+            tmp_path,
+            """\
+            # repro-lint: disable-file=rng-stdlib-random
+            import random
+
+            def roll():
+                return random.random()
+            """,
+        )
+        assert check_rng_discipline(info) == []
+
+
+class TestParseError:
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def f(:\n")
+        result = parse_module(path, display_path="broken.py")
+        assert isinstance(result, Finding)
+        assert result.rule == "parse-error"
+
+
+class TestRealTree:
+    def test_run_lint_over_repo_is_clean(self):
+        report = run_lint(project_root=REPO_ROOT)
+        assert report.files_scanned > 50
+        assert report.sorted_findings() == []
+        assert report.ok
+
+    def test_every_rule_id_is_documented(self):
+        for rule, description in RULES.items():
+            assert rule == rule.lower()
+            assert description
+
+
+class TestCli:
+    def _run(self, *args: str, cwd: Path | None = None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "lint", *args],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=cwd or REPO_ROOT,
+        )
+
+    @pytest.fixture()
+    def dirty_dir(self, tmp_path):
+        (tmp_path / "bad.py").write_text("import random\n")
+        return tmp_path
+
+    def test_clean_dir_exits_zero(self, tmp_path):
+        (tmp_path / "good.py").write_text("X = 1\n")
+        proc = self._run(str(tmp_path), "--project-root", str(tmp_path))
+        assert proc.returncode == 0, proc.stderr
+        assert "0 findings" in proc.stdout
+
+    def test_findings_exit_one_with_json_schema(self, dirty_dir):
+        proc = self._run(
+            str(dirty_dir), "--project-root", str(dirty_dir), "--format=json"
+        )
+        assert proc.returncode == 1, proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["version"] == 1
+        assert payload["files_scanned"] == 1
+        assert payload["counts"] == {"rng-stdlib-random": 1}
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "rng-stdlib-random"
+        assert finding["path"] == "bad.py"
+        assert finding["line"] == 1
+
+    def test_list_rules(self):
+        proc = self._run("--list-rules")
+        assert proc.returncode == 0, proc.stderr
+        for rule in RULES:
+            assert rule in proc.stdout

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import textbook_broadcast, uniform_random_placement
-from repro.graphs import edge_connectivity, random_regular, thick_cycle
+from repro.graphs import edge_connectivity, thick_cycle
 from repro.lower_bounds import (
     Theorem3Certificate,
     cut_bits_required,

@@ -9,7 +9,6 @@ from repro.graphs import (
     cycle_graph,
     diameter,
     path_graph,
-    random_regular,
 )
 from repro.primitives import (
     assign_item_numbers,
@@ -21,7 +20,7 @@ from repro.primitives import (
     run_tree_broadcast,
     tree_aggregate,
 )
-from repro.util.errors import ProtocolError, ValidationError
+from repro.util.errors import ValidationError
 
 
 class TestDistributedBFS:

@@ -1,7 +1,6 @@
 """Property-based tests (hypothesis) for the core data structures and the
 invariants the theorems rest on."""
 
-import math
 
 import numpy as np
 from hypothesis import HealthCheck, given, settings
@@ -21,7 +20,6 @@ from repro.graphs import (
     connected_components,
     cut_value,
     edge_connectivity,
-    is_connected,
 )
 from repro.util.bits import bits_for_payload, message_bit_budget
 from repro.util.rng import derive_seed

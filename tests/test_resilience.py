@@ -1,6 +1,5 @@
 """Tests for fault injection and the redundant broadcast (Section 1.2 flavor)."""
 
-import numpy as np
 import pytest
 
 from repro.congest import (

@@ -1,7 +1,6 @@
 """Tests for the centralized BFS kernels (ground truth for everything else)."""
 
 import numpy as np
-import pytest
 
 import networkx as nx
 
