@@ -1,0 +1,167 @@
+"""E17 — the adversary tournament: attack × defense at matched budgets.
+
+E16 ended one-sided: the targeted-cut adversary beheads a shared-root
+packing for the price of one node's degree, and no redundancy level helps.
+E17 closes the loop with :func:`repro.congest.tournament.run_tournament` —
+every scenario of the adversary library against the countermeasure grid
+(root policies × redundancy, with the coverage-repair loop scoring what
+graceful degradation buys back):
+
+* **E17a — attack/defense separation at n = 10⁴**: the acceptance surface.
+  At a doubled leader-degree budget the `TargetedCutAdversary` still zeroes
+  every shared-root message (the E16 reproduction), while spread-root and
+  cut-aware packings keep min-coverage ≈ 1 at the *same* budget and
+  decomposition seed — the defense, strictly separated.
+* **E17b — repair at half the leader-degree budget**: a cut that beheads
+  color classes without fully isolating the root; the repair loop re-roots
+  the broken trees and recovers full coverage without a rebuild. (At the
+  full leader-degree budget the root is severed outright — then no repair
+  can help, which E17a's shared-r1 row already records.)
+
+Scores (min/mean coverage, certified rounds and bits, repair cost) and wall
+clocks are merged into ``BENCH_E13.json``; the recorded ``attacks`` entries
+are the exact `to_json` serializations of the adversaries run, so every
+cell is replayable.
+
+Set ``E17_QUICK=1`` for the CI smoke: a small host, a 2×2 grid on both
+backends, payload equality (modulo the backend tag) asserted, no timing
+assertions.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import run_once, write_bench_artifact
+from repro.congest.tournament import run_tournament
+from repro.core import uniform_random_placement
+from repro.graphs import thick_cycle
+from repro.util.tables import Table
+
+
+def _placement(n: int, k: int, seed: int) -> dict[int, int]:
+    """Uniform placement with node 0 (the cut target) excluded: no defense
+    can deliver *from* a severed source, so keeping sources off it makes
+    min-coverage measure the defenses, not the placement."""
+    pl = uniform_random_placement(n, k, seed=seed)
+    pl.pop(0, None)
+    return pl
+
+
+def run_quick():
+    """CI smoke: 2 adversaries x 2 defenses, both backends, identical grids."""
+    g = thick_cycle(10, 10)
+    pl = _placement(g.n, 60, seed=3)
+    payloads = {}
+    secs = {}
+    for backend in ("simulator", "vectorized"):
+        t0 = time.perf_counter()
+        res = run_tournament(
+            g, 60, parts=3, seed=2, backend=backend,
+            adversaries=["dead-tree", "loss"],
+            defenses=["shared-r1", "spread-r2"],
+            placement=pl,
+        )
+        secs[backend] = time.perf_counter() - t0
+        pay = res.to_payload()
+        assert pay.pop("backend") == backend
+        payloads[backend] = pay
+    assert payloads["simulator"] == payloads["vectorized"], "tournament drift"
+    res_cells = payloads["vectorized"]["cells"]
+    by = {(c["adversary"], c["defense"]): c for c in res_cells}
+    # r=1 loses the dead tree and buys it back with a rebuild; r=2 never
+    # notices — the E16 separation, now visible inside one scored grid.
+    assert by[("dead-tree", "shared-r1")]["min_coverage"] == 0.0
+    assert by[("dead-tree", "shared-r1")]["repaired_min_coverage"] == 1.0
+    assert by[("dead-tree", "shared-r1")]["rebuilt"]
+    assert by[("dead-tree", "spread-r2")]["min_coverage"] == 1.0
+    write_bench_artifact(
+        "e17_quick",
+        {
+            "n": g.n,
+            "budget": payloads["vectorized"]["budget"],
+            "sim_seconds": round(secs["simulator"], 4),
+            "vec_seconds": round(secs["vectorized"], 4),
+        },
+    )
+    return payloads
+
+
+def run_experiment():
+    artifact: dict[str, object] = {}
+    parts, k = 4, 200
+    g = thick_cycle(500, 20)
+    n = g.n
+    assert n >= 10_000
+    pl = _placement(n, k, seed=3)
+
+    # ---- E17a: attack/defense separation at 2x leader degree ------------- #
+    budget = 2 * int(g.degrees()[0])
+    t0 = time.perf_counter()
+    res = run_tournament(
+        g, k, parts=parts, budget=budget, seed=2, backend="vectorized",
+        adversaries=["targeted-cut"],
+        defenses=["shared-r1", "spread-r2", "cut-aware-r2"],
+        placement=pl,
+    )
+    secs_a = time.perf_counter() - t0
+    ta = Table(
+        ["defense", "min_cov", "mean_cov", "full", "rounds", "bits"],
+        title=f"E17a — targeted-cut at budget {budget} (n={n}, k={res.k})",
+    )
+    for c in res.cells:
+        ta.add_row([
+            c.defense, round(c.min_coverage, 4), round(c.mean_coverage, 4),
+            f"{c.fully_delivered}/{c.k}", c.rounds, c.total_bits,
+        ])
+    ta.print()
+    shared = res.cell("targeted-cut", "shared-r1")
+    spread = res.cell("targeted-cut", "spread-r2")
+    aware = res.cell("targeted-cut", "cut-aware-r2")
+    # Acceptance: the E16 attack reproduces (shared-root collapse), and the
+    # countermeasures strictly separate at the same budget and seed.
+    assert shared.min_coverage == 0.0 and shared.mean_coverage == 0.0
+    assert spread.min_coverage > 0.99 > shared.min_coverage
+    assert aware.min_coverage > 0.99 > shared.min_coverage
+    artifact["e17a"] = {
+        "n": n, "k": res.k, "budget": budget,
+        "attacks": res.to_payload()["attacks"],
+        "cells": [c.to_row() for c in res.cells],
+        "seconds": round(secs_a, 2),
+    }
+
+    # ---- E17b: repair at half the leader-degree budget ------------------- #
+    t0 = time.perf_counter()
+    res_b = run_tournament(
+        g, k, parts=parts, budget=int(g.degrees()[0]) // 2, seed=2,
+        backend="vectorized",
+        adversaries=["targeted-cut"], defenses=["shared-r1"],
+        placement=pl,
+    )
+    secs_b = time.perf_counter() - t0
+    cell = res_b.cell("targeted-cut", "shared-r1")
+    print(
+        f"E17b — repair at budget {res_b.budget}: min {cell.min_coverage:.4f} "
+        f"-> {cell.repaired_min_coverage:.4f} via {cell.rerooted} re-root(s) "
+        f"in {cell.repair_rounds} rounds ({secs_b:.1f}s)"
+    )
+    # The cut beheads classes without isolating the root outright: the
+    # repair loop re-roots the broken trees and recovers everything.
+    assert cell.min_coverage == 0.0
+    assert cell.repaired_min_coverage == 1.0
+    assert cell.rerooted >= 1 and not cell.rebuilt
+    artifact["e17b"] = {
+        "n": n, "k": res_b.k, "budget": res_b.budget,
+        "cell": cell.to_row(), "seconds": round(secs_b, 2),
+    }
+
+    write_bench_artifact("e17", artifact)
+    return artifact
+
+
+def test_e17_tournament(benchmark):
+    if os.environ.get("E17_QUICK") == "1":
+        run_once(benchmark, run_quick)
+    else:
+        run_once(benchmark, run_experiment)

@@ -7,12 +7,14 @@ Usage::
         [--new BENCH_E13.json] [--threshold 2.0] [--min-seconds 0.05]
 
 Walks both artifacts, collects every numeric leaf whose key ends in
-``seconds`` (the wall clocks E6/E8/E13/E16 record), and fails (exit 1) when
-the current value exceeds ``threshold ×`` the previous one for any pipeline
-measured in both files. Timings under ``--min-seconds`` in the old artifact
-are skipped — at the sub-50 ms scale a 2× "regression" is scheduler noise,
-not a pipeline change. New sections (pipelines the previous PR didn't
-measure) are reported informationally, never failed.
+``seconds`` (the wall clocks E6/E8/E13/E16/E17 record), and fails (exit 1)
+when the current value exceeds ``threshold ×`` the previous one for any
+pipeline measured in both files. Timings under ``--min-seconds`` in the old
+artifact are skipped — at the sub-50 ms scale a 2× "regression" is scheduler
+noise, not a pipeline change. Metrics present in only one artifact are
+one-sided: sections the previous PR didn't measure are "new", sections this
+PR no longer measures are "retired" — both are notices, never gate failures,
+so the first PR adding (or removing) a bench surface passes the gate.
 
 A missing ``--old`` file exits 0 with a notice: the first PR after the gate
 lands, and any PR whose CI cannot fetch the previous artifact, should not
@@ -73,7 +75,7 @@ def compare(
     for path, before in sorted(old_secs.items()):
         after = new_secs.get(path)
         if after is None:
-            notes.append(f"dropped: {path} (was {before:.3f}s)")
+            notes.append(f"retired: {path} (was {before:.3f}s)")
             continue
         # A regression must clear the ratio gate AND grow by a real absolute
         # amount — sub-min_seconds deltas on tiny timings are scheduler

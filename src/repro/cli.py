@@ -124,9 +124,11 @@ def _cmd_packing(args) -> int:
     lam = edge_connectivity(g)
     parts = args.parts if args.parts else num_parts(lam, g.n, args.C)
     packing, attempts = build_packing_with_retry(
-        g, parts, seed=args.seed, distributed=True, backend=args.backend
+        g, parts, seed=args.seed, distributed=True, backend=args.backend,
+        roots=args.roots,
     )
     print(f"lambda={lam} parts={parts} attempts={attempts}")
+    print(f"roots={args.roots} {packing.roots if parts <= 8 else ''}")
     print(f"edge_disjoint={packing.is_edge_disjoint} congestion={packing.congestion}")
     print(f"max_depth={packing.max_depth} max_diameter={packing.max_diameter}")
     print(f"construction_rounds={packing.construction_rounds}")
@@ -182,13 +184,63 @@ def _cmd_cuts(args) -> int:
     return 0
 
 
-def _cmd_resilience(args) -> int:
-    from repro.congest import (
-        MobileAdversary,
-        RandomLoss,
-        StaticSaboteur,
-        TargetedCutAdversary,
+def _scenario_none(args, g):
+    """fault-free baseline (only --drop-rate, if given, applies)"""
+    return None
+
+
+def _scenario_dead_tree(args, g):
+    """kill one whole packed tree (--tree) permanently"""
+    from repro.congest import StaticSaboteur
+
+    return StaticSaboteur(tree_index=args.tree)
+
+
+def _scenario_mobile(args, g):
+    """sweeping round-scoped adversary: --budget edges per delivery round"""
+    from repro.congest import MobileAdversary
+
+    return MobileAdversary.sweeping(
+        range(g.m), budget=max(1, args.budget), rounds=args.mobile_rounds
     )
+
+
+def _scenario_loss(args, g):
+    """i.i.d. per-delivery loss at --drop-rate"""
+    from repro.congest import RandomLoss
+
+    return RandomLoss(args.drop_rate)
+
+
+def _scenario_targeted_cut(args, g):
+    """kill the lightest approximate cut found via Theorem 7 (--budget edges)"""
+    from repro.congest import TargetedCutAdversary
+
+    return TargetedCutAdversary(
+        eps=args.eps,
+        budget=args.budget or None,
+        seed=args.seed,
+        backend=args.backend,
+    )
+
+
+#: ``repro resilience`` scenario registry: name -> builder(args, graph).
+_SCENARIOS = {
+    "none": _scenario_none,
+    "dead-tree": _scenario_dead_tree,
+    "mobile": _scenario_mobile,
+    "loss": _scenario_loss,
+    "targeted-cut": _scenario_targeted_cut,
+}
+
+
+def _print_scenarios() -> None:
+    width = max(len(s) for s in _SCENARIOS)
+    for name, builder in _SCENARIOS.items():
+        print(f"{name:<{width}}  {builder.__doc__}")
+
+
+def _cmd_resilience(args) -> int:
     from repro.core import (
         build_packing_with_retry,
         num_parts,
@@ -196,30 +248,30 @@ def _cmd_resilience(args) -> int:
         uniform_random_placement,
     )
 
+    if args.list_scenarios:
+        _print_scenarios()
+        return 0
+    if args.graph is None:
+        print("error: a graph spec is required (or use --list-scenarios)",
+              file=sys.stderr)
+        return 2
+    if args.adversary not in _SCENARIOS:
+        print(
+            f"error: unknown scenario {args.adversary!r}; known scenarios: "
+            f"{', '.join(_SCENARIOS)} (see --list-scenarios)",
+            file=sys.stderr,
+        )
+        return 2
     g = parse_graph_spec(args.graph)
     lam = edge_connectivity(g)
     parts = args.parts if args.parts else num_parts(lam, g.n, args.C)
     packing, _ = build_packing_with_retry(
-        g, parts, seed=args.seed, distributed=False, backend=args.backend
+        g, parts, seed=args.seed, distributed=False, backend=args.backend,
+        roots=args.roots,
     )
     placement = uniform_random_placement(g.n, args.k, seed=args.seed)
 
-    adversary = None
-    if args.adversary == "dead-tree":
-        adversary = StaticSaboteur(tree_index=args.tree)
-    elif args.adversary == "mobile":
-        adversary = MobileAdversary.sweeping(
-            range(g.m), budget=max(1, args.budget), rounds=args.mobile_rounds
-        )
-    elif args.adversary == "loss":
-        adversary = RandomLoss(args.drop_rate)
-    elif args.adversary == "targeted-cut":
-        adversary = TargetedCutAdversary(
-            eps=args.eps,
-            budget=args.budget or None,
-            seed=args.seed,
-            backend=args.backend,
-        )
+    adversary = _SCENARIOS[args.adversary](args, g)
     rep = redundant_broadcast(
         g,
         placement,
@@ -233,11 +285,77 @@ def _cmd_resilience(args) -> int:
     )
     print(f"adversary: {args.adversary}  redundancy: {rep.redundancy}")
     print(f"backend: {args.backend}")
+    print(f"roots: {args.roots} {packing.roots if packing.size <= 8 else ''}")
     print(f"n={g.n} lambda={lam} trees={packing.size} k={rep.k}")
     print(f"rounds: {rep.rounds}")
     print(f"deliveries dropped: {rep.dropped_messages}")
     print(f"fully delivered: {rep.fully_delivered}/{rep.k}")
     print(f"min coverage: {rep.min_coverage:.2%}")
+    return 0
+
+
+def _cmd_tournament(args) -> int:
+    import json
+
+    from repro.congest.tournament import (
+        DEFAULT_ADVERSARIES,
+        DEFAULT_DEFENSES,
+        SCENARIOS,
+        run_tournament,
+    )
+
+    if args.list_scenarios:
+        width = max(len(s) for s in SCENARIOS)
+        for name, (doc, _fn) in SCENARIOS.items():
+            print(f"{name:<{width}}  {doc}")
+        print(f"default defenses: {', '.join(DEFAULT_DEFENSES)}")
+        return 0
+    if args.graph is None:
+        print("error: a graph spec is required (or use --list-scenarios)",
+              file=sys.stderr)
+        return 2
+    adversaries = (
+        args.adversaries.split(",") if args.adversaries else list(DEFAULT_ADVERSARIES)
+    )
+    unknown = [a for a in adversaries if a not in SCENARIOS]
+    if unknown:
+        print(
+            f"error: unknown scenario(s) {', '.join(unknown)}; known: "
+            f"{', '.join(SCENARIOS)} (see --list-scenarios)",
+            file=sys.stderr,
+        )
+        return 2
+    defenses = args.defenses.split(",") if args.defenses else list(DEFAULT_DEFENSES)
+    g = parse_graph_spec(args.graph)
+    res = run_tournament(
+        g,
+        k=args.k,
+        parts=args.parts,
+        budget=args.budget or None,
+        adversaries=adversaries,
+        defenses=defenses,
+        seed=args.seed,
+        backend=args.backend,
+        mobile_rounds=args.mobile_rounds,
+    )
+    if args.json:
+        print(json.dumps(res.to_payload(), indent=2))
+        return 0
+    print(f"tournament: n={res.n} k={res.k} trees={res.parts} "
+          f"budget={res.budget} backend={res.backend}")
+    header = (f"{'adversary':<13} {'defense':<13} {'min_cov':>8} {'mean':>7} "
+              f"{'full':>9} {'rounds':>7} {'bits':>10} {'repaired':>9} {'repair':>7}")
+    print(header)
+    for c in res.cells:
+        repair = "rebuild" if c.rebuilt else (f"reroot:{c.rerooted}" if c.rerooted else "-")
+        print(f"{c.adversary:<13} {c.defense:<13} {c.min_coverage:>8.3f} "
+              f"{c.mean_coverage:>7.3f} {c.fully_delivered:>5}/{c.k:<3} "
+              f"{c.rounds:>7} {c.total_bits:>10} "
+              f"{c.repaired_min_coverage:>9.3f} {repair:>7}")
+    for name in res.adversaries:
+        best = res.best_defense(name)
+        print(f"best vs {name}: {best.defense} "
+              f"(repaired min coverage {best.repaired_min_coverage:.3f})")
     return 0
 
 
@@ -295,9 +413,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=_cmd_broadcast)
 
+    def roots_opt(p):
+        p.add_argument(
+            "--roots",
+            default="shared",
+            help="root-assignment policy: shared (historical single root) | "
+            "spread (distinct evenly spaced root per tree) | cut-aware "
+            "(roots steered away from Theorem 7's light cuts)",
+        )
+
     p = sub.add_parser("packing", help="build a Theorem 2 tree packing")
     common(p)
     backend_opt(p)
+    roots_opt(p)
     p.add_argument("--parts", type=int, default=0)
     p.set_defaults(fn=_cmd_packing)
 
@@ -319,19 +447,23 @@ def build_parser() -> argparse.ArgumentParser:
         "resilience",
         help="redundant broadcast under an adversary (Section 1.2 / FP23)",
     )
-    common(p)
+    p.add_argument("graph", nargs="?", default=None,
+                   help="graph spec, e.g. thick:groups=12,size=10")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--C", type=float, default=2.0, help="Theorem 2 constant")
     backend_opt(p)
-    p.add_argument("-k", type=int, required=True, help="number of messages")
+    roots_opt(p)
+    p.add_argument("-k", type=int, default=20, help="number of messages")
     p.add_argument("--redundancy", "-r", type=int, default=1,
                    help="trees carrying each message (1..#trees)")
     p.add_argument(
         "--adversary",
-        choices=["none", "dead-tree", "mobile", "loss", "targeted-cut"],
         default="none",
-        help="scenario: kill one packed tree / sweeping round-scoped "
-        "adversary / i.i.d. loss at --drop-rate / kill the lightest "
-        "approximate cut found via Theorem 7",
+        help="scenario name: none | dead-tree | mobile | loss | targeted-cut "
+        "(see --list-scenarios)",
     )
+    p.add_argument("--list-scenarios", action="store_true",
+                   help="print every scenario name with a description and exit")
     p.add_argument("--tree", type=int, default=0,
                    help="which packed tree the dead-tree saboteur kills")
     p.add_argument("--budget", type=int, default=0,
@@ -348,6 +480,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fault-coin seed (defaults to --seed; independent "
                    "of the protocol RNG)")
     p.set_defaults(fn=_cmd_resilience)
+
+    p = sub.add_parser(
+        "tournament",
+        help="round-robin every adversary against every root-policy/"
+        "redundancy defense at a matched budget; scored grid",
+    )
+    p.add_argument("graph", nargs="?", default=None,
+                   help="graph spec, e.g. thick:groups=12,size=10")
+    p.add_argument("--seed", type=int, default=0)
+    backend_opt(p)
+    p.add_argument("-k", type=int, default=40, help="number of messages")
+    p.add_argument("--parts", type=int, default=3,
+                   help="trees in each defense packing")
+    p.add_argument("--budget", type=int, default=0,
+                   help="matched fault budget (0 = node 0's degree, the E16 "
+                   "leader-degree cut)")
+    p.add_argument("--adversaries", default="",
+                   help="comma-separated scenario names (default: all)")
+    p.add_argument("--defenses", default="",
+                   help="comma-separated <policy>-r<N> entries, e.g. "
+                   "shared-r1,spread-r2 (default: the standard grid)")
+    p.add_argument("--mobile-rounds", type=int, default=4096,
+                   help="delivery rounds the mobile adversary stays active")
+    p.add_argument("--list-scenarios", action="store_true",
+                   help="print scenario registry + default defenses and exit")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full scored payload as JSON")
+    p.set_defaults(fn=_cmd_tournament)
 
     p = sub.add_parser(
         "lint",

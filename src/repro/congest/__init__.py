@@ -43,4 +43,19 @@ __all__ = [
     "StaticSaboteur",
     "TargetedCutAdversary",
     "compose_schedules",
+    "TournamentCell",
+    "TournamentResult",
+    "run_tournament",
 ]
+
+_TOURNAMENT_NAMES = {"TournamentCell", "TournamentResult", "run_tournament"}
+
+
+def __getattr__(name):
+    # Lazy: tournament imports repro.core (which imports this package), so a
+    # module-level import here would be circular.
+    if name in _TOURNAMENT_NAMES:
+        from repro.congest import tournament
+
+        return getattr(tournament, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

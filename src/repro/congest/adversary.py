@@ -111,6 +111,22 @@ class FaultPlan:
         rate = 1.0 - (1.0 - self.drop_rate) * (1.0 - other.drop_rate)
         return FaultPlan(self.dead_edges | other.dead_edges, rate, mobile)
 
+    def to_json(self) -> dict:
+        """JSON-able form (sorted lists, string round keys) for artifacts."""
+        return {
+            "dead_edges": sorted(self.dead_edges),
+            "drop_rate": self.drop_rate,
+            "mobile": {str(r): sorted(es) for r, es in sorted(self.mobile.items())},
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "FaultPlan":
+        return cls(
+            dead_edges=frozenset(data.get("dead_edges", ())),
+            drop_rate=float(data.get("drop_rate", 0.0)),
+            mobile={int(r): frozenset(es) for r, es in data.get("mobile", {}).items()},
+        )
+
 
 class AdversarySchedule:
     """Base class: a scenario that compiles to a :class:`FaultPlan`.
@@ -122,6 +138,44 @@ class AdversarySchedule:
 
     def compile(self, graph: Graph, packing=None) -> FaultPlan:
         raise NotImplementedError
+
+    def to_json(self) -> dict:
+        """Tagged JSON-able form; ``from_json`` inverts it.
+
+        Round-trip contract (tested): ``from_json(s.to_json())`` compiles to
+        the same :class:`FaultPlan` as ``s`` on any graph/packing.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def from_json(data: Mapping) -> "AdversarySchedule":
+        """Rebuild any schedule from its :meth:`to_json` dict."""
+        kind = data.get("type")
+        if kind == "static":
+            return StaticSaboteur(
+                dead_edges=data.get("dead_edges", ()),
+                tree_index=data.get("tree_index"),
+            )
+        if kind == "mobile":
+            return MobileAdversary(
+                {int(r): es for r, es in data.get("mobile", {}).items()}
+            )
+        if kind == "loss":
+            return RandomLoss(float(data["rate"]))
+        if kind == "targeted-cut":
+            return TargetedCutAdversary(
+                eps=float(data.get("eps", 0.4)),
+                budget=data.get("budget"),
+                candidates=int(data.get("candidates", 32)),
+                seed=int(data.get("seed", 0)),
+                tau=data.get("tau"),
+                backend=data.get("backend", "vectorized"),
+            )
+        if kind == "composed":
+            return _Composed(
+                [AdversarySchedule.from_json(p) for p in data.get("parts", ())]
+            )
+        raise ValidationError(f"unknown adversary schedule type {kind!r}")
 
     def __add__(self, other: "AdversarySchedule") -> "AdversarySchedule":
         if not isinstance(other, AdversarySchedule):
@@ -140,6 +194,9 @@ class _Composed(AdversarySchedule):
         for p in self.parts:
             plan = plan.merged(p.compile(graph, packing=packing))
         return plan
+
+    def to_json(self) -> dict:
+        return {"type": "composed", "parts": [p.to_json() for p in self.parts]}
 
 
 def compose_schedules(*schedules: AdversarySchedule) -> AdversarySchedule:
@@ -166,6 +223,13 @@ class StaticSaboteur(AdversarySchedule):
 
             dead = dead | tree_edge_ids(packing, self.tree_index)
         return FaultPlan(dead_edges=dead)
+
+    def to_json(self) -> dict:
+        return {
+            "type": "static",
+            "dead_edges": sorted(self.dead_edges),
+            "tree_index": self.tree_index,
+        }
 
 
 class MobileAdversary(AdversarySchedule):
@@ -201,6 +265,12 @@ class MobileAdversary(AdversarySchedule):
     def compile(self, graph: Graph, packing=None) -> FaultPlan:
         return FaultPlan(mobile=self.mobile)
 
+    def to_json(self) -> dict:
+        return {
+            "type": "mobile",
+            "mobile": {str(r): sorted(es) for r, es in sorted(self.mobile.items())},
+        }
+
 
 class RandomLoss(AdversarySchedule):
     """i.i.d. loss: each delivery independently dropped with prob ``rate``
@@ -213,6 +283,9 @@ class RandomLoss(AdversarySchedule):
 
     def compile(self, graph: Graph, packing=None) -> FaultPlan:
         return FaultPlan(drop_rate=self.rate)
+
+    def to_json(self) -> dict:
+        return {"type": "loss", "rate": self.rate}
 
 
 class TargetedCutAdversary(AdversarySchedule):
@@ -255,6 +328,20 @@ class TargetedCutAdversary(AdversarySchedule):
         # compile() is deterministic per graph but runs the whole Theorem 7
         # pipeline; memoize so a redundancy sweep pays for it once.
         self._plan_cache: dict[Graph, FaultPlan] = {}
+
+    def to_json(self) -> dict:
+        # cuts_result (a live Theorem 7 object) is deliberately not
+        # serialized — from_json recomputes it, deterministically, from the
+        # recorded (eps, seed, tau, backend).
+        return {
+            "type": "targeted-cut",
+            "eps": self.eps,
+            "budget": self.budget,
+            "candidates": self.candidates,
+            "seed": self.seed,
+            "tau": self.tau,
+            "backend": self.backend,
+        }
 
     # -- internals --------------------------------------------------------- #
 

@@ -29,11 +29,13 @@ from repro.core.decomposition import (
     validate_decomposition,
 )
 from repro.core.tree_packing import (
+    ROOT_POLICIES,
     SpanningTree,
     TreePacking,
     build_tree_packing,
     build_packing_with_retry,
     packing_from_masks,
+    resolve_roots,
 )
 from repro.core.broadcast import (
     BroadcastResult,
@@ -57,7 +59,9 @@ from repro.core.congested_clique import (
 )
 from repro.core.resilient import (
     DeliveryReport,
+    RepairOutcome,
     redundant_broadcast,
+    repair_coverage,
     tree_edge_ids,
 )
 from repro.core.alt_packing import (
@@ -79,11 +83,13 @@ __all__ = [
     "random_partition",
     "DecompositionReport",
     "validate_decomposition",
+    "ROOT_POLICIES",
     "SpanningTree",
     "TreePacking",
     "build_tree_packing",
     "build_packing_with_retry",
     "packing_from_masks",
+    "resolve_roots",
     "BroadcastResult",
     "uniform_random_placement",
     "single_source_placement",
@@ -99,7 +105,9 @@ __all__ = [
     "simulate_bcc",
     "SumAndLeaderBCC",
     "DeliveryReport",
+    "RepairOutcome",
     "redundant_broadcast",
+    "repair_coverage",
     "tree_edge_ids",
     "PathSystem",
     "kd_connectivity_witness",

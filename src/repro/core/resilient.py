@@ -36,7 +36,13 @@ from repro.graphs.graph import Graph
 from repro.primitives.pipeline import ChannelSpec
 from repro.util.errors import ProtocolError, ValidationError
 
-__all__ = ["DeliveryReport", "redundant_broadcast", "tree_edge_ids"]
+__all__ = [
+    "DeliveryReport",
+    "RepairOutcome",
+    "redundant_broadcast",
+    "repair_coverage",
+    "tree_edge_ids",
+]
 
 _UP = 0
 _DOWN = 1
@@ -134,6 +140,11 @@ class DeliveryReport:
     backend: str = "simulator"
     receipts: dict[int, frozenset[int]] | None = None
     fault_rng_state: dict | None = None
+    #: Certified send totals (drops included — a dropped message spent its
+    #: bandwidth): the simulator's ``Metrics`` counters, matched bit for bit
+    #: by the vectorized engine's send-time accounting.
+    total_messages: int = 0
+    total_bits: int = 0
 
     @property
     def fully_delivered(self) -> int:
@@ -233,6 +244,8 @@ def redundant_broadcast(
             backend=backend,
             receipts=receipts,
             fault_rng_state=out.fault_rng_state,
+            total_messages=out.total_messages,
+            total_bits=out.total_bits,
         )
 
     network = Network(graph)
@@ -279,4 +292,213 @@ def redundant_broadcast(
         backend=backend,
         receipts=receipts,
         fault_rng_state=sim._fault_rng.bit_generator.state,
+        total_messages=result.metrics.total_messages,
+        total_bits=result.metrics.total_bits,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Coverage repair — graceful degradation after a structural attack
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class RepairOutcome:
+    """What the coverage-repair loop detected, did, and paid.
+
+    ``repair_rounds`` is the certified CONGEST price of the repair itself
+    (validity BFS per re-root attempt — charged even when the attempt
+    fails — plus the fallback rebuild's construction rounds); the rerun's
+    broadcast rounds are in ``final.rounds`` as usual.
+    """
+
+    initial: DeliveryReport
+    final: DeliveryReport
+    broken_channels: list[int]
+    rerooted: dict[int, int]
+    rebuilt: bool
+    repair_rounds: int
+    attempts: int
+    packing: TreePacking
+
+    @property
+    def recovered(self) -> bool:
+        """Did repair restore full delivery?"""
+        return self.final.min_coverage >= 1.0
+
+    @property
+    def improvement(self) -> float:
+        return self.final.min_coverage - self.initial.min_coverage
+
+
+def repair_coverage(
+    graph: Graph,
+    placement: dict[int, int],
+    packing: TreePacking,
+    redundancy: int = 1,
+    dead_edges: Iterable[int] | None = None,
+    drop_rate: float = 0.0,
+    mobile: Mapping[int, Iterable[int]] | None = None,
+    seed: int = 0,
+    fault_seed: int | None = None,
+    adversary: AdversarySchedule | None = None,
+    backend: str = "simulator",
+    max_reroots: int = 4,
+) -> RepairOutcome:
+    """Detect dead color classes and rebuild only what broke (Section 1.2).
+
+    Runs :func:`redundant_broadcast`, reads the :class:`DeliveryReport`, and
+    if delivery is incomplete repairs the packing before one rerun:
+
+    1. **Detect** — a channel is *broken* when it carried a message with
+       coverage < 1 **and** its tree uses a statically dead edge. Transient
+       loss (``drop_rate``/``mobile``) is not structural damage; nothing to
+       re-root, so those channels are left alone.
+    2. **Re-root** — for each broken channel (at most ``max_reroots``), one
+       validity BFS on the class's *live* edges (``class_masks[c]`` minus the
+       dead set), rooted at the highest-live-degree node (ties: smallest id)
+       — the spot the damage touches least. A spanning result replaces the
+       tree; the BFS rounds are charged either way.
+    3. **Rebuild fallback** — when the certificate is truly broken (no class
+       masks, more than ``max_reroots`` dead classes, or a live class that no
+       longer spans), rebuild a whole packing on the live host graph with
+       spread roots. If even that fails (the damage disconnected the graph),
+       the partial repairs stand and the rerun reports how far they got.
+
+    Both backends execute the identical repair: the detection reads the
+    bit-identical report, the re-root BFS and rebuild are the certified
+    packing primitives, and the rerun is :func:`redundant_broadcast` again —
+    so the full :class:`RepairOutcome` matches across backends bit for bit.
+    """
+    import numpy as np
+
+    from repro.core.tree_packing import (
+        SpanningTree,
+        _packing_from_trees,
+        build_packing_with_retry,
+    )
+    from repro.primitives.bfs import run_parallel_bfs
+
+    parts = packing.size
+    plan = FaultPlan(
+        dead_edges=frozenset(int(e) for e in (dead_edges or ())),
+        drop_rate=float(drop_rate),
+        mobile=dict(mobile or {}),
+    )
+    if adversary is not None:
+        plan = plan.merged(adversary.compile(graph, packing=packing))
+
+    def run(pk: TreePacking) -> DeliveryReport:
+        return redundant_broadcast(
+            graph,
+            placement,
+            pk,
+            redundancy=redundancy,
+            dead_edges=plan.dead_edges,
+            drop_rate=plan.drop_rate,
+            mobile=plan.mobile,
+            seed=seed,
+            fault_seed=fault_seed,
+            backend=backend,
+        )
+
+    initial = run(packing)
+    done = RepairOutcome(
+        initial=initial, final=initial, broken_channels=[], rerooted={},
+        rebuilt=False, repair_rounds=0, attempts=0, packing=packing,
+    )
+    if initial.min_coverage >= 1.0:
+        return done
+
+    dead_mask = np.zeros(graph.m, dtype=bool)
+    if plan.dead_edges:
+        dead_mask[np.fromiter(plan.dead_edges, dtype=np.int64)] = True
+
+    # Detect: report-driven suspects ∩ structurally damaged trees.
+    import math
+
+    k = initial.k
+    K = max(1, math.ceil(k / parts))
+    suspects: set[int] = set()
+    for j, cov in initial.per_message_coverage.items():
+        if cov < 1.0:
+            home = min((j - 1) // K, parts - 1)
+            suspects.update((home + i) % parts for i in range(redundancy))
+    structural = {
+        c for c in suspects
+        if any(dead_mask[e] for e in tree_edge_ids(packing, c))
+    }
+    broken = sorted(structural)
+    if not broken:
+        return done  # purely transient loss — nothing structural to repair
+
+    trees = list(packing.trees)
+    masks = packing.class_masks
+    rerooted: dict[int, int] = {}
+    repair_rounds = 0
+    attempts = 0
+    need_rebuild = masks is None or len(broken) > max_reroots
+    if not need_rebuild:
+        for c in broken:
+            live = masks[c] & ~dead_mask
+            deg = np.zeros(graph.n, dtype=np.int64)
+            eids = np.nonzero(live)[0]
+            np.add.at(deg, graph.edge_u[eids], 1)
+            np.add.at(deg, graph.edge_v[eids], 1)
+            new_root = int(np.lexsort((np.arange(graph.n), -deg))[0])
+            attempts += 1
+            results, rounds = run_parallel_bfs(
+                graph, [live], roots=[new_root], backend=backend
+            )
+            repair_rounds += rounds
+            if not results[0].spans():
+                need_rebuild = True  # class certificate broken beyond re-rooting
+                break
+            res = results[0]
+            trees[c] = SpanningTree(
+                root=new_root, parent=res.parent.copy(), depth_of=res.dist.copy()
+            )
+            rerooted[c] = new_root
+
+    rebuilt = False
+    if need_rebuild:
+        live_host = ~dead_mask
+        sub, orig = graph.edge_subgraph_with_map(live_host)
+        try:
+            live_packing, _ = build_packing_with_retry(
+                sub, parts, seed=seed, roots="spread", backend=backend
+            )
+        except ValidationError:
+            pass  # damage disconnected the graph — partial repairs stand
+        else:
+            rebuilt = True
+            rerooted = {}
+            trees = live_packing.trees
+            repair_rounds += live_packing.construction_rounds
+            masks = None
+            if live_packing.class_masks is not None:
+                masks = []
+                for lm in live_packing.class_masks:
+                    hm = np.zeros(graph.m, dtype=bool)
+                    hm[orig[np.nonzero(lm)[0]]] = True
+                    masks.append(hm)
+
+    if not rerooted and not rebuilt:
+        return RepairOutcome(
+            initial=initial, final=initial, broken_channels=broken, rerooted={},
+            rebuilt=False, repair_rounds=repair_rounds, attempts=attempts,
+            packing=packing,
+        )
+    repaired = _packing_from_trees(
+        graph, trees, packing.construction_rounds, class_masks=masks
+    )
+    final = run(repaired)
+    return RepairOutcome(
+        initial=initial,
+        final=final,
+        broken_channels=broken,
+        rerooted=rerooted,
+        rebuilt=rebuilt,
+        repair_rounds=repair_rounds,
+        attempts=attempts,
+        packing=repaired,
     )

@@ -11,6 +11,17 @@ The packing is also the interface to the Fischer–Parter mobile-adversary
 compiler mentioned in Section 1.2: what their compiler needs is exactly
 ``(number of trees, per-edge congestion, max tree diameter)``, all certified
 here.
+
+**Root assignment.** Nothing in Section 3.1 requires the λ' floods to share
+one root — each color class spans, so BFS from *any* node builds its tree in
+the same O((n log n)/δ) rounds. Sharing a root is what E16 showed to be the
+packing's single point of failure: one cheap cut around the root kills every
+color class at once. :func:`resolve_roots` therefore exposes a root
+*policy* — ``"shared"`` (the historical default), ``"spread"`` (a distinct,
+evenly spaced root per class), ``"cut-aware"`` (roots steered away from the
+light cuts Theorem 7's :func:`repro.cuts.approx.approx_all_cuts` reports),
+or an explicit list — threaded through :func:`build_tree_packing` and
+:func:`build_packing_with_retry` as the ``roots=`` parameter.
 """
 
 from __future__ import annotations
@@ -26,12 +37,18 @@ from repro.primitives.bfs import BFSResult, run_parallel_bfs
 from repro.util.errors import ValidationError
 
 __all__ = [
+    "ROOT_POLICIES",
     "SpanningTree",
     "TreePacking",
     "build_tree_packing",
     "packing_from_bfs_results",
     "packing_from_masks",
+    "resolve_roots",
 ]
+
+#: Named root-assignment policies accepted by ``roots=`` (an explicit list
+#: of node ids is always accepted as well).
+ROOT_POLICIES = ("shared", "spread", "cut-aware")
 
 
 @dataclass
@@ -108,16 +125,26 @@ class TreePacking:
         (0 for the coloring itself + the parallel-BFS rounds).
     edge_tree_count: per host edge, in how many trees it appears — the
         packing's *congestion* (exactly ≤ 1 for Theorem 2 packings).
+    class_masks: when built from a decomposition, the per-class edge masks
+        (over host edge ids). A tree only uses n−1 of its class's edges, so
+        the mask is what coverage repair re-roots within — without it a
+        broken tree can only be fixed by a full rebuild.
     """
 
     graph: Graph
     trees: list[SpanningTree]
     construction_rounds: int
     edge_tree_count: np.ndarray
+    class_masks: list[np.ndarray] | None = None
 
     @property
     def size(self) -> int:
         return len(self.trees)
+
+    @property
+    def roots(self) -> list[int]:
+        """Per-tree root node ids (all equal under the shared-root policy)."""
+        return [t.root for t in self.trees]
 
     @property
     def congestion(self) -> int:
@@ -164,11 +191,82 @@ def _tree_from_bfs(result: BFSResult) -> SpanningTree:
     )
 
 
+def resolve_roots(
+    graph: Graph,
+    parts: int,
+    roots="shared",
+    base_root: int = 0,
+    seed: int = 0,
+    eps: float = 0.4,
+    backend: str = "simulator",
+    cuts_result=None,
+) -> list[int]:
+    """Resolve a root policy to one BFS root per color class.
+
+    * ``"shared"`` — every class floods from ``base_root`` (the Theorem 1
+      default: the leader); this is the configuration E16's targeted-cut
+      adversary exploits.
+    * ``"spread"`` — evenly spaced distinct roots
+      ``(base_root + ⌊c·n/parts⌋) mod n``: no single node failure (or cheap
+      cut around one node) can behead more than one color class.
+    * ``"cut-aware"`` — runs Theorem 7 (:func:`~repro.cuts.approx.approx_all_cuts`,
+      reusable via ``cuts_result``), scores every singleton cut from the
+      ε-sparsifier exactly as :class:`~repro.congest.adversary.TargetedCutAdversary`
+      does, and spreads the roots over the *heaviest*-cut half of the nodes —
+      the places a budgeted cut attacker can least afford to sever.
+    * an explicit sequence of ``parts`` node ids is passed through verbatim.
+
+    Deterministic per (graph, policy, seed) and bit-identical across
+    backends (the Theorem 7 pipeline it leans on is itself certified), so
+    multi-root packings stay reproducible in mixed-backend pipelines.
+    """
+    n = graph.n
+    if parts < 1:
+        raise ValidationError("parts must be >= 1")
+    if not isinstance(roots, str):
+        out = [int(r) for r in roots]
+        if len(out) != parts:
+            raise ValidationError(
+                f"explicit roots list has {len(out)} entries for {parts} classes"
+            )
+        bad = [r for r in out if not (0 <= r < n)]
+        if bad:
+            raise ValidationError(f"root ids {bad[:4]} out of range [0, {n})")
+        return out
+    if not (0 <= base_root < n):
+        raise ValidationError(f"root {base_root} out of range")
+    if roots == "shared":
+        return [base_root] * parts
+    if roots == "spread":
+        return [(base_root + (c * n) // parts) % n for c in range(parts)]
+    if roots == "cut-aware":
+        from repro.cuts.approx import approx_all_cuts
+
+        res = cuts_result
+        if res is None:
+            res = approx_all_cuts(graph, eps=eps, seed=seed, backend=backend)
+        H = res.sparsifier.sparsifier
+        hw = H.weights if H.weights is not None else np.ones(H.m)
+        deg_h = np.zeros(n)
+        np.add.at(deg_h, H.edge_u, hw)
+        np.add.at(deg_h, H.edge_v, hw)
+        # Keep the heaviest-estimated-singleton-cut half (ties: smaller id),
+        # then spread over it in node-id order — heavy AND apart.
+        order = np.lexsort((np.arange(n), -deg_h))
+        safe = np.sort(order[: max(parts, (n + 1) // 2)])
+        return [int(safe[(c * len(safe)) // parts]) for c in range(parts)]
+    raise ValidationError(
+        f"unknown root policy {roots!r}; expected one of {ROOT_POLICIES} "
+        "or an explicit list of node ids"
+    )
+
+
 def build_tree_packing(
     decomp: Decomposition,
     root: int = 0,
     distributed: bool = True,
     backend: str = "simulator",
+    roots=None,
 ) -> TreePacking:
     """BFS per color class → tree packing (Section 3.1).
 
@@ -184,35 +282,47 @@ def build_tree_packing(
     ``backend="vectorized"`` computes the distributed semantics — identical
     trees *and* the simulator's exact round count — with the numpy fast path
     of :mod:`repro.engine`, ignoring ``distributed``.
+
+    ``roots`` selects the root-assignment policy (see :func:`resolve_roots`;
+    ``None`` keeps the historical shared root at ``root``). All policies
+    cost the same certified rounds — the classes flood concurrently, so the
+    price is still the max class depth regardless of where each flood starts.
     """
     from repro.engine import validate_backend
 
     g = decomp.graph
     masks = decomp.masks()
+    root_list = resolve_roots(
+        g,
+        decomp.parts,
+        roots if roots is not None else "shared",
+        base_root=root,
+        backend=backend,
+    )
     if validate_backend(backend) == "vectorized":
         results, rounds = run_parallel_bfs(
-            g, masks, roots=[root] * decomp.parts, backend="vectorized"
+            g, masks, roots=root_list, backend="vectorized"
         )
         trees = [_tree_from_bfs(r) for r in results]
     elif distributed:
-        results, rounds = run_parallel_bfs(g, masks, roots=[root] * decomp.parts)
+        results, rounds = run_parallel_bfs(g, masks, roots=root_list)
         trees = [_tree_from_bfs(r) for r in results]
     else:
         trees = []
-        for mask in masks:
+        for mask, r_c in zip(masks, root_list):
             sub, orig_ids = g.edge_subgraph_with_map(mask)
-            parent, dist = bfs_tree(sub, root)
+            parent, dist = bfs_tree(sub, r_c)
             if np.any(dist < 0):
                 raise ValidationError(
                     "color class is not spanning — the w.h.p. event of "
                     "Theorem 2 failed; retry with a larger C or another seed"
                 )
-            trees.append(SpanningTree(root=root, parent=parent, depth_of=dist))
+            trees.append(SpanningTree(root=r_c, parent=parent, depth_of=dist))
         # Charge exactly what the simulator certifies: flood depth + the one
         # round draining the deepest layer's child notices (0 for n = 1).
         rounds = max(t.depth for t in trees) + 1 if g.n > 1 else 0
 
-    return _packing_from_trees(g, trees, rounds)
+    return _packing_from_trees(g, trees, rounds, class_masks=masks)
 
 
 def build_packing_with_retry(
@@ -223,6 +333,7 @@ def build_packing_with_retry(
     distributed: bool = True,
     max_tries: int = 8,
     backend: str = "simulator",
+    roots=None,
 ) -> tuple[TreePacking, int]:
     """Theorem 2 packing with seed-retry on w.h.p. failure.
 
@@ -233,15 +344,32 @@ def build_packing_with_retry(
     includes one BFS per *failed* attempt (charged at the successful
     attempt's BFS cost, the honest distributed price of each validity
     check).
+
+    ``roots`` is the root-assignment policy of :func:`resolve_roots`. It is
+    resolved to an explicit list *once*, before the retry loop — the roots
+    depend only on the host graph, not on the decomposition attempt, and the
+    cut-aware policy's Theorem 7 run is far too expensive to repeat per seed.
     """
     from repro.core.decomposition import random_partition
 
+    root_list = resolve_roots(
+        graph,
+        parts,
+        roots if roots is not None else "shared",
+        base_root=root,
+        seed=seed,
+        backend=backend,
+    )
     last_error: ValidationError | None = None
     for attempt in range(max_tries):
         decomp = random_partition(graph, parts, seed + 7919 * attempt)
         try:
             packing = build_tree_packing(
-                decomp, root=root, distributed=distributed, backend=backend
+                decomp,
+                root=root,
+                distributed=distributed,
+                backend=backend,
+                roots=root_list,
             )
         except ValidationError as err:
             last_error = err
@@ -260,6 +388,7 @@ def _packing_from_trees(
     trees: list[SpanningTree],
     rounds: int,
     enforce_disjoint: bool = True,
+    class_masks: list[np.ndarray] | None = None,
 ) -> TreePacking:
     """Shared tail: per-edge tree counts + the Theorem 2 disjointness gate."""
     count = np.zeros(graph.m, dtype=np.int64)
@@ -267,7 +396,11 @@ def _packing_from_trees(
         vs = np.nonzero(np.arange(graph.n) != tree.root)[0]
         np.add.at(count, graph.edge_ids_for_pairs(tree.parent[vs], vs), 1)
     packing = TreePacking(
-        graph=graph, trees=trees, construction_rounds=rounds, edge_tree_count=count
+        graph=graph,
+        trees=trees,
+        construction_rounds=rounds,
+        edge_tree_count=count,
+        class_masks=class_masks,
     )
     if enforce_disjoint and packing.congestion > 1:
         raise ValidationError(

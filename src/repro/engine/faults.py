@@ -303,7 +303,14 @@ def faulty_bfs(
 
 @dataclass
 class FaultyBroadcastOutcome:
-    """Exact delivery bookkeeping of one faulted multi-tree broadcast."""
+    """Exact delivery bookkeeping of one faulted multi-tree broadcast.
+
+    ``total_messages``/``total_bits`` charge every *send* (drops included —
+    a dropped message spent its bandwidth) with the simulator's exact
+    :func:`~repro.util.bits.bits_for_payload` price of the ``(kind, cid,
+    mid)`` tuples ``_TrackingProgram`` puts on the wire, so they equal the
+    ``Metrics`` totals of the twin simulator run bit for bit.
+    """
 
     rounds: int
     dropped: int
@@ -312,6 +319,8 @@ class FaultyBroadcastOutcome:
     receipt_bits: np.ndarray  # packed (len(mids), ceil(n/8)) receipt matrix
     n: int
     fault_rng_state: dict
+    total_messages: int = 0
+    total_bits: int = 0
 
     def coverage(self) -> dict[int, float]:
         return {
@@ -444,6 +453,17 @@ def vectorized_faulty_broadcast(
 
     chans = [_Channel(graph, trees[cid], messages.get(cid, {})) for cid in cids]
     stream = FaultStream(graph, plan, fault_seed)
+    # Send-time bit pricing: bits_for_payload((kind, cid, mid)) with
+    # kind ∈ {0, 1} → 2 bits, plus the cid and mid integer sizes.
+    from repro.util.bits import bits_for_int_array
+
+    cid_bits = (
+        bits_for_int_array(np.asarray(cids, dtype=np.int64))
+        if cids
+        else np.empty(0, dtype=np.int64)
+    )
+    total_messages = 0
+    total_bits = 0
 
     # Roots know their own messages from the start (per _TrackingProgram).
     for ci, cid in enumerate(cids):
@@ -535,6 +555,8 @@ def vectorized_faulty_broadcast(
         rounds = rnd
         if batch is not None:
             chan, kind, dst, eid, mid = batch
+            total_messages += int(chan.size)
+            total_bits += int((2 + cid_bits[chan] + bits_for_int_array(mid)).sum())
             alive = stream.deliver_mask(rnd, eid)
             # UP deliveries in order (Python loop: volume is only the sum of
             # origin depths, the sparse-upcast term).
@@ -573,4 +595,6 @@ def vectorized_faulty_broadcast(
         receipt_bits=recv,
         n=n,
         fault_rng_state=stream.rng_state,
+        total_messages=total_messages,
+        total_bits=total_bits,
     )

@@ -40,6 +40,9 @@ __all__ = [
     "check_cuts_pipeline",
     "check_faulty_bfs",
     "check_redundant_broadcast",
+    "check_root_policies",
+    "check_coverage_repair",
+    "check_tournament",
     "EquivalenceReport",
     "verify_equivalence",
 ]
@@ -639,7 +642,204 @@ def check_redundant_broadcast(
         out.append("redundant: receipt sets differ")
     if sim.fault_rng_state != vec.fault_rng_state:
         out.append("redundant: fault RNG streams diverged")
+    if sim.total_messages != vec.total_messages:
+        out.append(
+            f"redundant: total_messages {sim.total_messages} != "
+            f"{vec.total_messages}"
+        )
+    if sim.total_bits != vec.total_bits:
+        out.append(
+            f"redundant: total_bits {sim.total_bits} != {vec.total_bits}"
+        )
     return out
+
+
+def check_root_policies(graph: Graph, parts: int, seed) -> list[str]:
+    """Root-assignment policies: :func:`resolve_roots` and the multi-root
+    packing it feeds must be bit-identical across backends for every policy
+    (plus an explicit root list).
+
+    The w.h.p. packing event may legitimately fail on tiny random hosts;
+    both backends must then fail with the same error.
+    """
+    from repro.core.tree_packing import (
+        ROOT_POLICIES,
+        build_packing_with_retry,
+        resolve_roots,
+    )
+    from repro.util.errors import ValidationError
+
+    out = []
+    explicit = [int(i % graph.n) for i in range(parts)]
+    for roots in (*ROOT_POLICIES, explicit):
+        label = roots if isinstance(roots, str) else "explicit"
+
+        def resolve(backend):
+            # cut-aware runs Theorem 7, whose w.h.p. event may fail on tiny
+            # hosts; both backends must then fail identically.
+            try:
+                return resolve_roots(
+                    graph, parts, roots=roots, seed=seed, backend=backend
+                ), None
+            except ValidationError as err:
+                return None, str(err)
+
+        sim_roots, res = resolve("simulator")
+        vec_roots, rev = resolve("vectorized")
+        if (sim_roots is None) != (vec_roots is None) or (
+            sim_roots is None and res != rev
+        ):
+            out.append(
+                f"roots[{label}]: backends disagree on resolve failure "
+                f"(sim={res!r}, vec={rev!r})"
+            )
+            continue
+        if sim_roots is None:
+            continue
+        if sim_roots != vec_roots:
+            out.append(f"roots[{label}]: {sim_roots} != {vec_roots}")
+            continue
+
+        def attempt(backend):
+            try:
+                return build_packing_with_retry(
+                    graph, parts, seed=seed, distributed=False,
+                    roots=roots, backend=backend,
+                ), None
+            except ValidationError as err:
+                return None, str(err)
+
+        sim, esim = attempt("simulator")
+        vec, evec = attempt("vectorized")
+        if (sim is None) != (vec is None) or (sim is None and esim != evec):
+            out.append(
+                f"roots[{label}]: backends disagree on failure "
+                f"(sim={esim!r}, vec={evec!r})"
+            )
+            continue
+        if sim is None:
+            continue
+        (spack, srounds), (vpack, vrounds) = sim, vec
+        if srounds != vrounds:
+            out.append(f"roots[{label}]: retry rounds {srounds} != {vrounds}")
+        if spack.roots != vpack.roots:
+            out.append(f"roots[{label}]: packed roots {spack.roots} != {vpack.roots}")
+        if spack.construction_rounds != vpack.construction_rounds:
+            out.append(f"roots[{label}]: construction rounds differ")
+        for c, (a, b) in enumerate(zip(spack.trees, vpack.trees)):
+            if not np.array_equal(a.parent, b.parent):
+                out.append(f"roots[{label}]: tree {c} parents differ")
+            if not np.array_equal(a.depth, b.depth):
+                out.append(f"roots[{label}]: tree {c} depths differ")
+    return out
+
+
+def check_coverage_repair(
+    graph: Graph, k: int, seed, parts: int = 2
+) -> list[str]:
+    """Graceful degradation: the whole :class:`~repro.core.resilient.RepairOutcome`
+    — broken-channel detection, re-root choices, rebuild decisions, repair
+    round charges, and both delivery reports — must match across backends.
+
+    Kills a prefix of tree 0's edges so the repair path actually triggers;
+    vacuous if the packing event fails on the tiny host.
+    """
+    from repro.core.broadcast import uniform_random_placement
+    from repro.core.resilient import repair_coverage, tree_edge_ids
+    from repro.core.tree_packing import build_packing_with_retry
+    from repro.util.errors import ValidationError
+
+    try:
+        packing, _ = build_packing_with_retry(
+            graph, parts, seed=seed, distributed=False, roots="spread"
+        )
+    except ValidationError:
+        return []
+    placement = uniform_random_placement(graph.n, k, seed=seed)
+    dead = sorted(tree_edge_ids(packing, 0))[: max(1, graph.n // 4)]
+
+    def attempt(backend):
+        return repair_coverage(
+            graph,
+            placement,
+            packing,
+            redundancy=1,
+            dead_edges=dead,
+            seed=seed,
+            fault_seed=seed + 1,
+            backend=backend,
+        )
+
+    sim = attempt("simulator")
+    vec = attempt("vectorized")
+    out = []
+    for phase in ("initial", "final"):
+        a, b = getattr(sim, phase), getattr(vec, phase)
+        if a.per_message_coverage != b.per_message_coverage:
+            out.append(f"repair: {phase} coverage differs")
+        if a.rounds != b.rounds:
+            out.append(f"repair: {phase} rounds {a.rounds} != {b.rounds}")
+        if a.dropped_messages != b.dropped_messages:
+            out.append(f"repair: {phase} dropped counts differ")
+        if a.total_messages != b.total_messages or a.total_bits != b.total_bits:
+            out.append(f"repair: {phase} message/bit totals differ")
+        if a.fault_rng_state != b.fault_rng_state:
+            out.append(f"repair: {phase} fault RNG streams diverged")
+    if sim.broken_channels != vec.broken_channels:
+        out.append(
+            f"repair: broken channels {sim.broken_channels} != "
+            f"{vec.broken_channels}"
+        )
+    if sim.rerooted != vec.rerooted:
+        out.append(f"repair: re-roots {sim.rerooted} != {vec.rerooted}")
+    if sim.rebuilt != vec.rebuilt:
+        out.append(f"repair: rebuilt {sim.rebuilt} != {vec.rebuilt}")
+    if sim.repair_rounds != vec.repair_rounds:
+        out.append(
+            f"repair: repair rounds {sim.repair_rounds} != {vec.repair_rounds}"
+        )
+    if sim.attempts != vec.attempts:
+        out.append(f"repair: attempts {sim.attempts} != {vec.attempts}")
+    return out
+
+
+def check_tournament(graph: Graph, k: int, seed) -> list[str]:
+    """The scored tournament surface: :meth:`TournamentResult.to_payload`
+    must be identical across backends except the ``backend`` tag itself —
+    every cell score, every recorded attack, bit for bit.
+
+    Runs a small grid (two cheap adversaries x two defenses); vacuous if
+    the packing event fails on the tiny host.
+    """
+    from repro.congest.tournament import run_tournament
+    from repro.util.errors import ValidationError
+
+    def attempt(backend):
+        try:
+            return run_tournament(
+                graph, k, parts=2,
+                adversaries=["dead-tree", "loss"],
+                defenses=["shared-r1", "spread-r1"],
+                seed=seed, backend=backend,
+            ), None
+        except ValidationError as err:
+            return None, str(err)
+
+    sim, esim = attempt("simulator")
+    vec, evec = attempt("vectorized")
+    if (sim is None) != (vec is None) or (sim is None and esim != evec):
+        return [
+            f"tournament: backends disagree on failure "
+            f"(sim={esim!r}, vec={evec!r})"
+        ]
+    if sim is None:
+        return []
+    spay, vpay = sim.to_payload(), vec.to_payload()
+    spay["backend"] = vpay["backend"] = ""
+    if spay != vpay:
+        keys = [key for key in spay if spay[key] != vpay[key]]
+        return [f"tournament: payloads differ in {keys}"]
+    return []
 
 
 @dataclass
@@ -701,6 +901,9 @@ def verify_equivalence(
                 parts=parts,
                 redundancy=1 + t % 2,
             ),
+            check_root_policies(g, parts, seed=11_000 * seed + t),
+            check_coverage_repair(g, k, seed=12_000 * seed + t, parts=parts),
+            check_tournament(g, k, seed=13_000 * seed + t) if t % 3 == 0 else [],
         ):
             report.checks += 1
             report.mismatches.extend(f"[trial {t}, n={n}] {m}" for m in mismatches)

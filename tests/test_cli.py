@@ -141,3 +141,69 @@ class TestResilienceCommand:
                    "--adversary", "loss", "--drop-rate", "1.5", "--C", "1.5"])
         assert rc == 1
         assert "drop_rate" in capsys.readouterr().err
+
+    def test_list_scenarios(self, capsys):
+        assert main(["resilience", "--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("none", "dead-tree", "mobile", "loss", "targeted-cut"):
+            assert name in out
+
+    def test_unknown_scenario_is_usage_error(self, capsys):
+        rc = main(["resilience", "thick:groups=4,size=4", "-k", "4",
+                   "--adversary", "warp"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario 'warp'" in err and "--list-scenarios" in err
+
+    def test_missing_graph_is_usage_error(self, capsys):
+        assert main(["resilience"]) == 2
+        assert "graph spec is required" in capsys.readouterr().err
+
+    def test_roots_option_spreads_the_packing(self, capsys):
+        rc = main(["resilience", "thick:groups=8,size=6", "-k", "24",
+                   "--roots", "spread", "--C", "1.5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "roots:" in out and "min coverage: 100.00%" in out
+
+
+class TestTournamentCommand:
+    def test_list_scenarios(self, capsys):
+        assert main(["tournament", "--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "targeted-cut" in out and "default defenses" in out
+
+    def test_missing_graph_is_usage_error(self, capsys):
+        assert main(["tournament"]) == 2
+        assert "graph spec is required" in capsys.readouterr().err
+
+    def test_unknown_adversary_is_usage_error(self, capsys):
+        rc = main(["tournament", "thick:groups=4,size=4",
+                   "--adversaries", "zero-day"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "zero-day" in err and "--list-scenarios" in err
+
+    def test_small_grid_table(self, capsys):
+        rc = main(["tournament", "thick:groups=6,size=5", "-k", "20",
+                   "--parts", "2", "--adversaries", "dead-tree,loss",
+                   "--defenses", "shared-r1,spread-r2",
+                   "--backend", "vectorized"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "budget=10" in out
+        assert "best vs dead-tree: spread-r2" in out
+        assert "rebuild" in out  # shared-r1 buys back the dead tree
+
+    def test_json_output_round_trips(self, capsys):
+        import json
+
+        rc = main(["tournament", "thick:groups=6,size=5", "-k", "12",
+                   "--parts", "2", "--adversaries", "loss",
+                   "--defenses", "shared-r1", "--backend", "vectorized",
+                   "--json"])
+        assert rc == 0
+        pay = json.loads(capsys.readouterr().out)
+        assert pay["n"] == 30 and pay["adversaries"] == ["loss"]
+        assert pay["attacks"]["loss"]["type"] == "loss"
+        assert len(pay["cells"]) == 1

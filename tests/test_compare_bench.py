@@ -1,0 +1,114 @@
+"""Tests for the cross-PR perf gate (ISSUE 7 satellite: one-sided metrics).
+
+The gate must fail only on real regressions of pipelines measured in *both*
+artifacts; sections present in just one (a new bench surface like E17, or a
+retired one) are notices — otherwise the first PR adding a surface could
+never land.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from compare_bench import compare, main, walk_seconds  # noqa: E402
+
+
+OLD = {
+    "e13": {"apsp_seconds": 1.0, "cuts": [{"scenario": "a", "seconds": 2.0}]},
+    "e16": {"sweep_seconds": 0.5},
+    "legacy": {"old_pipeline_seconds": 3.0},
+}
+
+
+class TestWalkSeconds:
+    def test_flattens_nested_and_list_leaves(self):
+        secs = walk_seconds(OLD)
+        assert secs["e13.apsp_seconds"] == 1.0
+        assert secs["e13.cuts[scenario=a].seconds"] == 2.0
+        assert len(secs) == 4
+
+    def test_identity_labels_survive_reordering(self):
+        a = {"rows": [{"scenario": "x", "seconds": 1.0}, {"scenario": "y", "seconds": 2.0}]}
+        b = {"rows": [{"scenario": "y", "seconds": 2.0}, {"scenario": "x", "seconds": 1.0}]}
+        assert walk_seconds(a) == walk_seconds(b)
+
+    def test_non_seconds_keys_ignored(self):
+        assert walk_seconds({"rounds": 9, "bits_total": 100}) == {}
+
+
+class TestOneSidedMetrics:
+    def test_new_surface_is_a_notice_not_a_failure(self):
+        new = dict(OLD, e17={"tournament_seconds": 9.9})
+        regressions, notes = compare(OLD, new, threshold=2.0, min_seconds=0.05)
+        assert regressions == []
+        assert any(n.startswith("new: e17.tournament_seconds") for n in notes)
+
+    def test_retired_surface_is_a_notice_not_a_failure(self):
+        new = {k: v for k, v in OLD.items() if k != "legacy"}
+        regressions, notes = compare(OLD, new, threshold=2.0, min_seconds=0.05)
+        assert regressions == []
+        assert any(n.startswith("retired: legacy.old_pipeline_seconds") for n in notes)
+
+    def test_disjoint_artifacts_never_gate(self):
+        regressions, notes = compare(
+            {"a": {"x_seconds": 1.0}}, {"b": {"y_seconds": 50.0}},
+            threshold=2.0, min_seconds=0.05,
+        )
+        assert regressions == []
+        assert len(notes) == 2  # one retired, one new
+
+
+class TestRegressionGate:
+    def test_real_regression_fails(self):
+        new = json.loads(json.dumps(OLD))
+        new["e13"]["apsp_seconds"] = 5.0
+        regressions, _ = compare(OLD, new, threshold=2.0, min_seconds=0.05)
+        assert len(regressions) == 1 and "apsp_seconds" in regressions[0]
+
+    def test_noise_floor_absorbs_tiny_deltas(self):
+        old = {"x_seconds": 0.001}
+        new = {"x_seconds": 0.01}  # 10x but only +9ms
+        regressions, _ = compare(old, new, threshold=2.0, min_seconds=0.05)
+        assert regressions == []
+
+    def test_within_threshold_passes(self):
+        new = json.loads(json.dumps(OLD))
+        new["e16"]["sweep_seconds"] = 0.9  # 1.8x < 2x
+        regressions, _ = compare(OLD, new, threshold=2.0, min_seconds=0.05)
+        assert regressions == []
+
+
+class TestMainEntry:
+    def test_missing_old_artifact_bootstraps_clean(self, tmp_path, capsys):
+        new = tmp_path / "new.json"
+        new.write_text(json.dumps(OLD))
+        rc = main(["--old", str(tmp_path / "absent.json"), "--new", str(new)])
+        assert rc == 0
+        assert "skipping gate" in capsys.readouterr().out
+
+    def test_unreadable_old_artifact_bootstraps_clean(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        old.write_text("{not json")
+        new = tmp_path / "new.json"
+        new.write_text(json.dumps(OLD))
+        assert main(["--old", str(old), "--new", str(new)]) == 0
+        assert "unreadable" in capsys.readouterr().out
+
+    def test_missing_new_artifact_fails(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        old.write_text(json.dumps(OLD))
+        rc = main(["--old", str(old), "--new", str(tmp_path / "absent.json")])
+        assert rc == 1
+
+    @pytest.mark.parametrize("factor,expected_rc", [(1.5, 0), (3.0, 1)])
+    def test_gate_exit_codes(self, tmp_path, factor, expected_rc):
+        old = tmp_path / "old.json"
+        old.write_text(json.dumps({"x_seconds": 1.0}))
+        new = tmp_path / "new.json"
+        new.write_text(json.dumps({"x_seconds": factor}))
+        rc = main(["--old", str(old), "--new", str(new)])
+        assert rc == expected_rc

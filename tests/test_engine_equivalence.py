@@ -24,14 +24,17 @@ from repro.engine.verify import (
     check_broadcast_pipeline,
     check_clustering,
     check_combined_broadcast,
+    check_coverage_repair,
     check_cuts_pipeline,
     check_faulty_bfs,
     check_leader,
     check_numbering,
     check_parallel_bfs,
     check_redundant_broadcast,
+    check_root_policies,
     check_spanner,
     check_sparsifier,
+    check_tournament,
     check_tree_broadcast,
     check_unknown_lambda_broadcast,
     check_weighted_apsp,
@@ -446,8 +449,61 @@ class TestFaultEngineEquivalence:
             assert sim.fault_rng_state == vec.fault_rng_state, adv
 
 
+class TestRobustnessEquivalence:
+    """ISSUE 7: multi-root packings, the repair loop, and the tournament
+    surface must be bit-identical across backends."""
+
+    @_SETTINGS
+    @given(
+        n=st.integers(4, 18),
+        extra=st.integers(4, 24),
+        seed=st.integers(0, 10_000),
+        parts=st.integers(1, 3),
+    )
+    def test_root_policies_backends_identical(self, n, extra, seed, parts):
+        g = random_connected_graph(n, extra, seed=seed)
+        assert check_root_policies(g, parts, seed=seed + 1) == []
+
+    @_SETTINGS
+    @given(
+        n=st.integers(4, 16),
+        extra=st.integers(4, 24),
+        seed=st.integers(0, 10_000),
+        k=st.integers(0, 20),
+        parts=st.integers(1, 3),
+    )
+    def test_coverage_repair_backends_identical(self, n, extra, seed, k, parts):
+        g = random_connected_graph(n, extra, seed=seed)
+        assert check_coverage_repair(g, k, seed=seed + 1, parts=parts) == []
+
+    def test_tournament_payloads_identical(self):
+        assert check_tournament(thick_cycle(8, 5), 24, seed=3) == []
+
+    def test_tournament_full_grid_on_packing_host(self):
+        """Every registered adversary x a policy-diverse defense slate."""
+        from repro.congest.tournament import (
+            DEFAULT_ADVERSARIES,
+            run_tournament,
+        )
+        from repro.engine import BACKENDS
+
+        g = thick_cycle(8, 5)
+        payloads = {}
+        for backend in BACKENDS:
+            res = run_tournament(
+                g, 24, parts=3,
+                adversaries=list(DEFAULT_ADVERSARIES),
+                defenses=["shared-r1", "spread-r2", "cut-aware-r2"],
+                seed=2, backend=backend, mobile_rounds=64,
+            )
+            pay = res.to_payload()
+            assert pay.pop("backend") == backend
+            payloads[backend] = pay
+        assert payloads["simulator"] == payloads["vectorized"]
+
+
 class TestHarnessSweep:
     def test_randomized_sweep_is_clean(self):
         report = verify_equivalence(trials=6, seed=11, max_n=20)
-        assert report.checks == 6 * 16
+        assert report.checks == 6 * 19
         assert report.ok, report.mismatches

@@ -1,8 +1,14 @@
 """Tests for fault injection and the redundant broadcast (Section 1.2 flavor)."""
 
+import json
+
+import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.congest import (
+    AdversarySchedule,
     FaultPlan,
     FaultySimulator,
     MobileAdversary,
@@ -14,8 +20,11 @@ from repro.congest import (
     compose_schedules,
 )
 from repro.core import (
+    ROOT_POLICIES,
     build_packing_with_retry,
     redundant_broadcast,
+    repair_coverage,
+    resolve_roots,
     tree_edge_ids,
     uniform_random_placement,
 )
@@ -336,6 +345,265 @@ class TestAdversarySchedules:
             g, pl, packing, redundancy=packing.size, adversary=adv, seed=7
         )
         assert rep.min_coverage < 1.0
+
+
+class TestRootPolicies:
+    """ISSUE 7 countermeasure: root assignment per color class."""
+
+    def test_shared_is_the_theorem_1_default(self):
+        g = thick_cycle(10, 10)
+        assert resolve_roots(g, 3, roots="shared") == [0, 0, 0]
+        assert "shared" in ROOT_POLICIES
+
+    def test_spread_roots_are_distinct_and_spaced(self):
+        g = thick_cycle(10, 10)
+        roots = resolve_roots(g, 3, roots="spread")
+        assert roots == [0, 33, 66]
+        assert len(set(roots)) == 3
+
+    def test_explicit_list_passes_through(self):
+        g = thick_cycle(10, 10)
+        assert resolve_roots(g, 3, roots=[5, 50, 95]) == [5, 50, 95]
+
+    def test_cut_aware_avoids_light_cut_targets(self):
+        """Cut-aware roots land on distinct heavy-cut nodes, so a budgeted
+        cut attacker pays more per beheaded class than against 'shared'."""
+        g = thick_cycle(10, 10)
+        roots = resolve_roots(g, 3, roots="cut-aware", seed=2)
+        assert len(set(roots)) == 3
+        assert all(0 <= r < g.n for r in roots)
+        # Deterministic per (graph, policy, seed).
+        assert roots == resolve_roots(g, 3, roots="cut-aware", seed=2)
+
+    def test_invalid_policies_rejected(self):
+        g = thick_cycle(5, 4)
+        with pytest.raises(ValidationError):
+            resolve_roots(g, 2, roots="bogus")
+        with pytest.raises(ValidationError):
+            resolve_roots(g, 2, roots=[0])  # wrong length
+        with pytest.raises(ValidationError):
+            resolve_roots(g, 2, roots=[0, g.n])  # out of range
+        with pytest.raises(ValidationError):
+            resolve_roots(g, 0)
+
+    def test_packing_trees_rooted_per_policy(self):
+        g = thick_cycle(10, 10)
+        packing, _ = build_packing_with_retry(
+            g, 3, seed=2, distributed=False, roots="spread"
+        )
+        assert packing.roots == [0, 33, 66]
+        for tree, root in zip(packing.trees, packing.roots):
+            assert tree.root == root
+        assert packing.class_masks is not None
+
+    def test_spread_packing_broadcasts_cleanly(self):
+        g = thick_cycle(10, 10)
+        packing, _ = build_packing_with_retry(
+            g, 3, seed=2, distributed=False, roots="spread"
+        )
+        pl = uniform_random_placement(g.n, 60, seed=3)
+        rep = redundant_broadcast(g, pl, packing, redundancy=2)
+        assert rep.min_coverage == 1.0
+
+    def test_spread_beats_shared_under_targeted_cut(self):
+        """The E16 counter: same budget, same decomposition seed — the
+        attack that zeroes every shared-root message leaves most of the
+        spread-root traffic standing."""
+        g = thick_cycle(10, 10)
+        pl = uniform_random_placement(g.n, 60, seed=3)
+        pl.pop(0, None)  # no defense can deliver *from* the severed node
+        adv = TargetedCutAdversary(budget=int(g.degrees()[0]), seed=2)
+        reps = {}
+        for policy in ("shared", "spread"):
+            packing, _ = build_packing_with_retry(
+                g, 3, seed=2, distributed=False, roots=policy
+            )
+            reps[policy] = redundant_broadcast(
+                g, pl, packing, redundancy=2, adversary=adv, seed=0
+            )
+        covs = {
+            p: sum(r.per_message_coverage.values()) / r.k for p, r in reps.items()
+        }
+        assert covs["shared"] == 0.0  # total collapse, all classes beheaded
+        assert covs["spread"] > 0.85  # only the severed neighborhood suffers
+
+
+class TestCoverageRepair:
+    """ISSUE 7 graceful degradation: detect dead classes, re-root or
+    rebuild, report the cost (numbers pinned on the module fixture)."""
+
+    def test_reroot_path_restores_coverage(self, setup):
+        g, packing, pl = setup
+        # Damage away from the root: tree 0 stays attached at the root but
+        # loses its far side, so a re-root (not a rebuild) suffices.
+        dead = sorted(tree_edge_ids(packing, 0))[-12:]
+        out = repair_coverage(g, pl, packing, redundancy=1, dead_edges=dead)
+        assert out.initial.min_coverage == pytest.approx(0.7)
+        assert out.final.min_coverage == 1.0
+        assert out.broken_channels == [0]
+        assert out.rerooted == {0: 97} and not out.rebuilt
+        assert out.attempts == 1 and out.repair_rounds > 0
+        assert out.recovered and out.improvement == pytest.approx(0.3)
+
+    def test_rebuild_path_restores_coverage(self, setup):
+        g, packing, pl = setup
+        # Killing tree 0 whole takes the root's own class edges with it —
+        # no re-root can span, so the loop falls back to a full rebuild.
+        dead = sorted(tree_edge_ids(packing, 0))
+        out = repair_coverage(g, pl, packing, redundancy=1, dead_edges=dead)
+        assert out.initial.min_coverage == 0.0
+        assert out.final.min_coverage == 1.0
+        assert out.rebuilt and out.rerooted == {}
+        assert out.repair_rounds > 0
+        assert out.packing is not packing  # repaired packing is returned
+
+    def test_transient_loss_triggers_no_structural_repair(self, setup):
+        g, packing, pl = setup
+        out = repair_coverage(
+            g, pl, packing, redundancy=1, drop_rate=0.2, fault_seed=7
+        )
+        assert out.final is out.initial
+        assert not out.rebuilt and out.rerooted == {}
+        assert out.repair_rounds == 0
+
+    def test_clean_run_returns_early(self, setup):
+        g, packing, pl = setup
+        out = repair_coverage(g, pl, packing, redundancy=1)
+        assert out.initial.min_coverage == 1.0
+        assert out.final is out.initial
+        assert out.attempts == 0 and out.repair_rounds == 0
+
+    def test_unrepairable_cut_degrades_gracefully(self, setup):
+        """Severing the shared root entirely: re-roots cannot span and the
+        rebuild's residual graph is disconnected — the loop must surrender
+        cleanly (partial results stand, no exception)."""
+        g, packing, _ = setup
+        pl = dict(uniform_random_placement(g.n, 90, seed=3))
+        pl.pop(0, None)
+        dead = sorted(
+            int(e) for e in np.nonzero((g.edge_u == 0) | (g.edge_v == 0))[0]
+        )
+        out = repair_coverage(g, pl, packing, redundancy=1, dead_edges=dead)
+        assert out.broken_channels == [0, 1, 2]  # every shared-root class
+        assert out.final.min_coverage == 0.0
+        assert not out.rebuilt and not out.recovered
+        assert out.attempts == 1  # it tried, and charged rounds for it
+
+    @pytest.mark.parametrize("backend", ["simulator", "vectorized"])
+    def test_message_and_bit_totals_reported(self, setup, backend):
+        g, packing, pl = setup
+        rep = redundant_broadcast(g, pl, packing, redundancy=1, backend=backend)
+        assert rep.total_messages > 0
+        assert rep.total_bits > 2 * rep.total_messages  # kind bits alone
+
+
+class TestAdversaryJSON:
+    """ISSUE 7 satellite: schedules and plans round-trip through JSON."""
+
+    @pytest.fixture(scope="class")
+    def host(self):
+        g = thick_cycle(8, 5)
+        packing, _ = build_packing_with_retry(g, 2, seed=1, distributed=False)
+        return g, packing
+
+    @pytest.mark.parametrize(
+        "adv",
+        [
+            StaticSaboteur({3, 1, 4}),
+            StaticSaboteur(tree_index=1),
+            MobileAdversary({2: {0, 1}, 5: {3}}),
+            RandomLoss(0.25),
+            RandomLoss(1.0),
+            TargetedCutAdversary(eps=0.5, budget=4, candidates=4, seed=3, tau=2),
+            StaticSaboteur({5}) + RandomLoss(0.1),
+            compose_schedules(
+                MobileAdversary({2: {0}}), RandomLoss(0.05), StaticSaboteur({5})
+            ),
+        ],
+    )
+    def test_schedule_round_trips_to_same_plan(self, host, adv):
+        g, packing = host
+        data = json.loads(json.dumps(adv.to_json()))  # through real JSON
+        rebuilt = AdversarySchedule.from_json(data)
+        assert rebuilt.compile(g, packing=packing) == adv.compile(
+            g, packing=packing
+        )
+        assert rebuilt.to_json() == adv.to_json()
+
+    def test_fault_plan_round_trips(self):
+        plan = FaultPlan(
+            dead_edges={7, 2}, drop_rate=0.5, mobile={3: {1, 2}, 9: {0}}
+        )
+        data = json.loads(json.dumps(plan.to_json()))
+        assert FaultPlan.from_json(data) == plan
+        assert FaultPlan.from_json(json.loads(json.dumps(FaultPlan().to_json()))).is_null
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValidationError):
+            AdversarySchedule.from_json({"type": "quantum"})
+
+
+# Dyadic rates: exact under the independent-coins combination, so the
+# algebraic properties below hold with == rather than approx.
+_RATES = st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0])
+_EDGES = st.frozensets(st.integers(0, 30), max_size=5)
+_PLANS = st.builds(
+    FaultPlan,
+    dead_edges=_EDGES,
+    drop_rate=_RATES,
+    mobile=st.dictionaries(st.integers(1, 8), _EDGES, max_size=3),
+)
+_PLAN_SETTINGS = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestFaultPlanProperties:
+    """ISSUE 7 satellite: FaultPlan.merged is a commutative monoid action
+    and validate_for holds at both drop-rate boundaries."""
+
+    @_PLAN_SETTINGS
+    @given(a=_PLANS, b=_PLANS)
+    def test_merged_commutative(self, a, b):
+        x, y = a.merged(b), b.merged(a)
+        assert x.dead_edges == y.dead_edges
+        assert x.mobile == y.mobile
+        assert x.drop_rate == y.drop_rate
+
+    @_PLAN_SETTINGS
+    @given(a=_PLANS, b=_PLANS, c=_PLANS)
+    def test_merged_associative(self, a, b, c):
+        x, y = a.merged(b).merged(c), a.merged(b.merged(c))
+        assert x.dead_edges == y.dead_edges
+        assert x.mobile == y.mobile
+        assert x.drop_rate == y.drop_rate
+
+    @_PLAN_SETTINGS
+    @given(p=_PLANS)
+    def test_null_plan_is_identity(self, p):
+        m = FaultPlan().merged(p)
+        assert (m.dead_edges, m.drop_rate, m.mobile) == (
+            p.dead_edges, p.drop_rate, p.mobile
+        )
+
+    @_PLAN_SETTINGS
+    @given(p=_PLANS, rate=st.sampled_from([0.0, 1.0]))
+    def test_validate_for_at_rate_boundaries(self, p, rate):
+        plan = FaultPlan(p.dead_edges, rate, p.mobile)
+        assert plan.validate_for(31) is plan  # all generated ids < 31
+        ids = set(plan.dead_edges) | {
+            e for es in plan.mobile.values() for e in es
+        }
+        if ids:
+            with pytest.raises(ValidationError):
+                plan.validate_for(max(ids))  # largest id now out of range
+
+    @_PLAN_SETTINGS
+    @given(rate=st.sampled_from([0.0, 1.0]))
+    def test_boundary_rates_are_legal_plans(self, rate):
+        plan = FaultPlan(drop_rate=rate)
+        assert plan.validate_for(0) is plan
+        assert plan.is_null == (rate == 0.0)
 
 
 class TestBackendReportEquality:

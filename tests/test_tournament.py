@@ -1,0 +1,160 @@
+"""Tests for the adversary tournament (ISSUE 7 tentpole, part 3).
+
+The small-host grid numbers here mirror the bench surface
+(``benchmarks/bench_e17_tournament.py``): at n=100 a budget equal to the
+leader's degree severs node 0 entirely, so *min* coverage floors at 0 for
+every defense (some message always routes through the severed node) — the
+separation shows in mean coverage, and the bench asserts the min-coverage
+separation at n=10^4 where the cut is relatively small.
+"""
+
+import pytest
+
+from repro.congest.tournament import (
+    DEFAULT_ADVERSARIES,
+    DEFAULT_DEFENSES,
+    SCENARIOS,
+    parse_defense,
+    run_tournament,
+)
+from repro.core import uniform_random_placement
+from repro.graphs import thick_cycle
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def grid():
+    g = thick_cycle(10, 10)
+    pl = uniform_random_placement(g.n, 60, seed=3)
+    pl.pop(0, None)  # no defense can deliver *from* the node the cut severs
+    res = run_tournament(
+        g, 60, parts=3, seed=2, backend="vectorized",
+        adversaries=["targeted-cut", "dead-tree"],
+        defenses=["shared-r1", "shared-r2", "spread-r2", "cut-aware-r2"],
+        placement=pl,
+    )
+    return g, res
+
+
+class TestDefenseParsing:
+    def test_parses_policy_and_redundancy(self):
+        assert parse_defense("spread-r2") == ("spread", 2)
+        assert parse_defense("cut-aware-r3") == ("cut-aware", 3)
+        assert parse_defense("shared-r1") == ("shared", 1)
+
+    @pytest.mark.parametrize(
+        "bad", ["spread", "spread-r", "spread-rx", "bogus-r2", "r2", ""]
+    )
+    def test_rejects_malformed_specs(self, bad):
+        with pytest.raises(ValidationError):
+            parse_defense(bad)
+
+    def test_default_grids_are_well_formed(self):
+        for d in DEFAULT_DEFENSES:
+            policy, r = parse_defense(d)
+            assert r >= 1
+        assert set(DEFAULT_ADVERSARIES) <= set(SCENARIOS)
+        for name, (doc, factory) in SCENARIOS.items():
+            assert doc and callable(factory)
+
+
+class TestTournamentValidation:
+    def test_unknown_adversary_lists_registry(self):
+        g = thick_cycle(6, 4)
+        with pytest.raises(ValidationError, match="dead-tree"):
+            run_tournament(g, 10, parts=2, adversaries=["zero-day"])
+
+    def test_unknown_defense_rejected(self):
+        g = thick_cycle(6, 4)
+        with pytest.raises(ValidationError):
+            run_tournament(g, 10, parts=2, defenses=["bogus-r2"])
+
+    def test_budget_must_be_positive(self):
+        g = thick_cycle(6, 4)
+        with pytest.raises(ValidationError):
+            run_tournament(g, 10, parts=2, budget=0)
+
+    def test_budget_defaults_to_leader_degree(self):
+        g = thick_cycle(6, 4)
+        res = run_tournament(
+            g, 10, parts=2, adversaries=["loss"], defenses=["shared-r1"]
+        )
+        assert res.budget == int(g.degrees()[0])
+
+
+class TestTournamentGrid:
+    def test_reproduces_the_e16_attack(self, grid):
+        """Attack half of the acceptance criterion: shared-root min (and
+        mean) coverage collapses under the targeted cut, r=2 included —
+        redundancy alone cannot route around a severed shared root."""
+        _, res = grid
+        assert res.cell("targeted-cut", "shared-r1").mean_coverage == 0.0
+        assert res.cell("targeted-cut", "shared-r2").mean_coverage == 0.0
+
+    def test_defense_separation_at_matched_budget(self, grid):
+        """Defense half: same budget, same decomposition seed — root-spread
+        keeps most traffic alive where shared-root loses everything."""
+        _, res = grid
+        shared = res.cell("targeted-cut", "shared-r1")
+        spread = res.cell("targeted-cut", "spread-r2")
+        aware = res.cell("targeted-cut", "cut-aware-r2")
+        assert spread.mean_coverage > 0.9 > shared.mean_coverage
+        assert aware.mean_coverage > 0.8 > shared.mean_coverage
+
+    def test_repair_rescues_dead_tree_at_r1(self, grid):
+        _, res = grid
+        cell = res.cell("dead-tree", "shared-r1")
+        assert cell.min_coverage == 0.0
+        assert cell.repaired_min_coverage == 1.0
+        assert cell.rebuilt and cell.repair_rounds > 0
+
+    def test_redundancy_absorbs_dead_tree_without_repair(self, grid):
+        _, res = grid
+        cell = res.cell("dead-tree", "shared-r2")
+        assert cell.min_coverage == 1.0
+        assert cell.repair_rounds == 0 and not cell.rebuilt
+
+    def test_best_defense_ranking(self, grid):
+        _, res = grid
+        best = res.best_defense("dead-tree")
+        # Full coverage with zero repair cost beats full coverage bought
+        # back by a rebuild.
+        assert best.repaired_min_coverage == 1.0 and best.repair_rounds == 0
+
+    def test_cells_carry_certified_costs(self, grid):
+        _, res = grid
+        for cell in res.cells:
+            assert cell.rounds > 0
+            assert cell.total_messages > 0
+            assert cell.total_bits > 2 * cell.total_messages
+            assert 0.0 <= cell.min_coverage <= cell.mean_coverage <= 1.0
+
+    def test_payload_is_json_shaped(self, grid):
+        import json
+
+        _, res = grid
+        pay = json.loads(json.dumps(res.to_payload()))
+        assert pay["n"] == 100 and pay["budget"] == 20
+        assert set(pay["attacks"]) == {"targeted-cut", "dead-tree"}
+        assert pay["attacks"]["targeted-cut"]["type"] == "targeted-cut"
+        assert len(pay["cells"]) == 2 * 4
+        assert {c["defense"] for c in pay["cells"]} == set(res.defenses)
+
+    def test_cell_lookup_raises_on_missing(self, grid):
+        _, res = grid
+        with pytest.raises(KeyError):
+            res.cell("loss", "shared-r1")
+
+    def test_recorded_attack_replays_identically(self, grid):
+        """The payload's attack record is executable provenance: rebuilding
+        the adversary from it compiles to the same fault plan."""
+        from repro.congest import AdversarySchedule
+
+        g, res = grid
+        from repro.core import build_packing_with_retry
+
+        packing, _ = build_packing_with_retry(
+            g, 3, seed=2, distributed=False, roots="shared"
+        )
+        adv = AdversarySchedule.from_json(res.attacks["dead-tree"])
+        assert adv.compile(g, packing=packing).dead_edges
