@@ -67,6 +67,12 @@ RULES: dict[str, str] = {
         "engine/verify.py check_* is neither referenced by "
         "tests/test_engine_equivalence.py nor run by verify_equivalence"
     ),
+    "parity-unverified-kernel": (
+        "public engine/kernels.py entry point is neither called by an "
+        "engine/verify.py check_* nor referenced by "
+        "tests/test_engine_equivalence.py (batched kernels need a "
+        "bit-identity check before the engine may use them)"
+    ),
 }
 
 

@@ -13,6 +13,12 @@ silently. This checker closes the loop statically:
   is neither referenced by ``tests/test_engine_equivalence.py`` nor invoked
   by :func:`repro.engine.verify.verify_equivalence` (the sweep CI runs) —
   a check that exists but never executes is as good as absent.
+* ``parity-unverified-kernel`` — a public top-level function of
+  ``engine/kernels.py`` (the shared span/SpMV primitives every batched
+  path is built from) that no ``check_*`` calls and the equivalence test
+  file never references. Kernels have no ``backend=`` parameter, so the
+  first rule cannot see them — yet a drifting kernel corrupts every
+  strategy at once.
 
 Coverage is computed syntactically (call/reference names), so the checker
 never imports the code under analysis.
@@ -106,6 +112,23 @@ def check_backend_parity(
                 "check_* calls it and tests/test_engine_equivalence.py never "
                 "references it; add an equivalence check before shipping a "
                 "second backend",
+            )
+
+    for info in src_modules:
+        if not info.path.as_posix().endswith("repro/engine/kernels.py"):
+            continue
+        for func in _top_level_functions(info):
+            if func.name.startswith("_"):
+                continue
+            if func.name in check_covered or func.name in test_referenced:
+                continue
+            findings += info.finding(
+                "parity-unverified-kernel",
+                func,
+                f"{func.name}() is a public engine/kernels.py primitive but "
+                "no engine/verify.py check_* calls it and "
+                "tests/test_engine_equivalence.py never references it; add "
+                "a bit-identity check before batched paths may rely on it",
             )
 
     sweep = next((f for f in verify_funcs if f.name == "verify_equivalence"), None)

@@ -146,12 +146,19 @@ def _number_messages(
     return leader, tree, starts, phases
 
 
-def _run_pipeline(graph, trees, per_channel, verify, backend):
-    """Dispatch the Lemma 1 pipeline to the chosen backend."""
+def _run_pipeline(graph, trees, per_channel, verify, backend, step=None):
+    """Dispatch the Lemma 1 pipeline to the chosen backend.
+
+    ``step`` picks the vectorized engine's stepping strategy
+    (:func:`repro.engine.kernels.resolve_step`); the simulator is always
+    per-round.
+    """
     if backend == "vectorized":
         from repro.engine.fastpath import vectorized_tree_broadcast
 
-        return vectorized_tree_broadcast(graph, trees, per_channel, verify=verify)
+        return vectorized_tree_broadcast(
+            graph, trees, per_channel, verify=verify, step=step
+        )
     return run_tree_broadcast(graph, trees, per_channel, verify=verify)
 
 
@@ -170,6 +177,7 @@ def textbook_broadcast(
     placement: dict[int, int],
     verify: bool = True,
     backend: str = "simulator",
+    step: str | None = None,
 ) -> BroadcastResult:
     """Lemma 1's O(D + k) pipeline over a single BFS tree."""
     from repro.engine import validate_backend
@@ -177,8 +185,17 @@ def textbook_broadcast(
     validate_backend(backend)
     k = sum(placement.values())
     leader, tree, starts, phases = _number_messages(graph, placement, backend)
-    ids = _placement_ids(placement, starts)
-    outcome = _run_pipeline(graph, {0: tree}, {0: ids}, verify, backend)
+    if backend == "vectorized":
+        # Same contiguous ranges as _placement_ids, as numpy arrays: the
+        # engine consumes them array-natively (no per-id Python objects).
+        ids = {
+            v: np.arange(starts[v], starts[v] + c, dtype=np.int64)
+            for v, c in placement.items()
+            if c > 0
+        }
+    else:
+        ids = _placement_ids(placement, starts)
+    outcome = _run_pipeline(graph, {0: tree}, {0: ids}, verify, backend, step=step)
     phases["pipeline"] = outcome.rounds
     return BroadcastResult(
         algorithm="textbook",
@@ -203,6 +220,7 @@ def fast_broadcast(
     decomposition: Decomposition | None = None,
     packing: TreePacking | None = None,
     backend: str = "simulator",
+    step: str | None = None,
 ) -> BroadcastResult:
     """Theorem 1's Õ((n + k)/λ)-round broadcast.
 
@@ -224,6 +242,9 @@ def fast_broadcast(
     backend: ``"simulator"`` executes every phase on the CONGEST simulator;
         ``"vectorized"`` computes the identical phase ledger with the numpy
         engine (see :mod:`repro.engine`).
+    step: stepping strategy of the vectorized pipeline phase
+        (:func:`repro.engine.kernels.resolve_step`); ignored by the
+        simulator.
     """
     from repro.engine import validate_backend
     from repro.graphs.connectivity import edge_connectivity
@@ -260,16 +281,39 @@ def fast_broadcast(
     parts = packing.size
 
     # Assign message id j (1-based) to class (j-1) // K, K = ceil(k / parts).
+    # Each node's ids are one contiguous range (Lemma 3), so the split
+    # never materializes id lists: j_arr reconstructs every id from
+    # (node order, counts, starts) arithmetically, and the channel split
+    # is a handful of contiguous chunks grouped in one lexsort instead of
+    # k Python-dict appends. Under the vectorized backend the chunk
+    # values stay numpy views of j_arr (zero-copy); the simulator gets
+    # the plain int lists its payload tuples require.
     K = max(1, math.ceil(k / parts))
-    ids = _placement_ids(placement, starts)
-    per_channel: dict[int, dict[int, list[int]]] = {c: {} for c in range(parts)}
-    for v, mids in ids.items():
-        for j in mids:
-            c = min((j - 1) // K, parts - 1)
-            per_channel[c].setdefault(v, []).append(j)
+    per_channel: dict[int, dict[int, list[int] | np.ndarray]] = {
+        c: {} for c in range(parts)
+    }
+    pairs = [(v, c) for v, c in placement.items() if c > 0]
+    if pairs:
+        v_arr = np.fromiter((v for v, _ in pairs), dtype=np.int64, count=len(pairs))
+        cnt = np.fromiter((c for _, c in pairs), dtype=np.int64, count=len(pairs))
+        node_arr = np.repeat(v_arr, cnt)
+        base = np.repeat(starts[v_arr] - (np.cumsum(cnt) - cnt), cnt)
+        j_arr = base + np.arange(int(cnt.sum()), dtype=np.int64)
+        c_arr = np.minimum((j_arr - 1) // K, parts - 1)
+        order = np.lexsort((j_arr, node_arr, c_arr))
+        nod = node_arr[order]
+        ch = c_arr[order]
+        sorted_ids = j_arr[order]
+        flat = sorted_ids if backend == "vectorized" else sorted_ids.tolist()
+        brk = np.nonzero((ch[1:] != ch[:-1]) | (nod[1:] != nod[:-1]))[0] + 1
+        bounds = np.concatenate(
+            [[0], brk, [len(flat)]] if brk.size else [[0], [len(flat)]]
+        ).tolist()
+        for a, b in zip(bounds[:-1], bounds[1:]):
+            per_channel[int(ch[a])][int(nod[a])] = flat[a:b]
 
     trees = {c: _bfs_view(packing, c) for c in range(parts)}
-    outcome = _run_pipeline(graph, trees, per_channel, verify, backend)
+    outcome = _run_pipeline(graph, trees, per_channel, verify, backend, step=step)
     phases["pipeline"] = outcome.rounds
     return BroadcastResult(
         algorithm="fast",
@@ -284,16 +328,18 @@ def fast_broadcast(
 
 
 def _bfs_view(packing: TreePacking, i: int) -> BFSResult:
-    """Adapt a packed SpanningTree to the BFSResult shape the pipeline uses."""
+    """Adapt a packed SpanningTree to the BFSResult shape the pipeline uses.
+
+    ``children`` stays lazy: the vectorized pipeline reads only ``parent``,
+    ``dist``, and ``spans()``, so the Python child lists materialize only
+    if a simulator consumer asks for them.
+    """
     tree = packing.trees[i]
-    children: list[list[int]] = [[] for _ in range(tree.n)]
-    for u, v in tree.edges():
-        children[u].append(v)
     return BFSResult(
         root=tree.root,
         parent=tree.parent,
         dist=tree.depth_of,
-        children=children,
+        children=None,
         rounds=0,
     )
 
@@ -306,6 +352,7 @@ def combined_broadcast(
     seed: int = 0,
     verify: bool = True,
     backend: str = "simulator",
+    step: str | None = None,
 ) -> BroadcastResult:
     """Section 3.2's min(textbook, fast): predict, then run the winner.
 
@@ -325,11 +372,20 @@ def combined_broadcast(
     t_text = predict_textbook_rounds(D, k)
     t_fast = predict_fast_rounds(graph.n, k, delta, lam, C)
     if t_text <= t_fast:
-        result = textbook_broadcast(graph, placement, verify=verify, backend=backend)
+        result = textbook_broadcast(
+            graph, placement, verify=verify, backend=backend, step=step
+        )
         result.algorithm = "combined/textbook"
     else:
         result = fast_broadcast(
-            graph, placement, lam=lam, C=C, seed=seed, verify=verify, backend=backend
+            graph,
+            placement,
+            lam=lam,
+            C=C,
+            seed=seed,
+            verify=verify,
+            backend=backend,
+            step=step,
         )
         result.algorithm = "combined/fast"
     return result

@@ -169,6 +169,7 @@ def redundant_broadcast(
     adversary: AdversarySchedule | None = None,
     backend: str = "simulator",
     collect_receipts: bool = False,
+    step: str | None = None,
 ) -> DeliveryReport:
     """Broadcast with each message assigned to ``redundancy`` distinct trees.
 
@@ -186,7 +187,9 @@ def redundant_broadcast(
     deliveries fail). ``backend="vectorized"`` runs the whole experiment on
     the fault-aware numpy engine (:mod:`repro.engine.faults`) and returns a
     bit-identical report — same receipts, drops, rounds, and fault RNG
-    stream — at orders of magnitude larger n.
+    stream — at orders of magnitude larger n. ``step`` picks that engine's
+    stepping strategy (:func:`repro.engine.kernels.resolve_step`); the
+    simulator backend ignores it.
     """
     from repro.engine import validate_backend
 
@@ -225,7 +228,7 @@ def redundant_broadcast(
         from repro.engine.faults import vectorized_faulty_broadcast
 
         out = vectorized_faulty_broadcast(
-            graph, trees, per_channel, plan=plan, fault_seed=fault_seed
+            graph, trees, per_channel, plan=plan, fault_seed=fault_seed, step=step
         )
         import numpy as np
 

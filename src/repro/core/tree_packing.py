@@ -391,10 +391,20 @@ def _packing_from_trees(
     class_masks: list[np.ndarray] | None = None,
 ) -> TreePacking:
     """Shared tail: per-edge tree counts + the Theorem 2 disjointness gate."""
-    count = np.zeros(graph.m, dtype=np.int64)
-    for tree in trees:
-        vs = np.nonzero(np.arange(graph.n) != tree.root)[0]
-        np.add.at(count, graph.edge_ids_for_pairs(tree.parent[vs], vs), 1)
+    # One bincount over the concatenated tree-edge ids replaces a per-tree
+    # unbuffered np.add.at scatter — identical counts, one pass over graph.m.
+    nodes = np.arange(graph.n)
+    eids = [
+        graph.edge_ids_for_pairs(tree.parent[vs], vs)
+        for tree in trees
+        for vs in (np.nonzero(nodes != tree.root)[0],)
+    ]
+    if eids:
+        count = np.bincount(np.concatenate(eids), minlength=graph.m).astype(
+            np.int64, copy=False
+        )
+    else:
+        count = np.zeros(graph.m, dtype=np.int64)
     packing = TreePacking(
         graph=graph,
         trees=trees,

@@ -58,6 +58,16 @@ executions — receipt sets, drop counts, round totals, and the fault RNG
 stream — bit for bit, which is what lets the Section 1.2 resilience
 experiments (``redundant_broadcast``, E16) run at n = 10⁵.
 
+Within the vectorized backend, loop-heavy paths additionally pick a **step
+strategy** (:mod:`repro.engine.kernels`): ``"round"`` advances one numpy
+step per round, ``"span"`` advances one step per *event* — queue evolution
+between events is closed-form, so the Lemma 1 recurrence and the rate-0
+fault engine batch thousands of rounds into a handful of array ops. Both
+strategies are bit-identical (same rounds, bits, receipts, RNG stream);
+``step=None``/``"auto"`` defers to the ``REPRO_STEP`` env var (default
+``"span"``), and span paths silently fall back to ``"round"`` where the
+closed form does not apply (drop_rate > 0, irregular layerings).
+
 Callers opt in via the ``backend=`` parameter threaded through
 :func:`repro.primitives.bfs.run_bfs`,
 :func:`repro.primitives.bfs.run_parallel_bfs`,
@@ -74,6 +84,11 @@ on the ``broadcast``, ``packing``, ``apsp``, and ``cuts`` subcommands.
 
 from __future__ import annotations
 
+from repro.engine.kernels import (
+    STEP_STRATEGIES,
+    frontier_sweep,
+    resolve_step,
+)
 from repro.engine.fastpath import (
     vectorized_bfs,
     vectorized_elect_leader,
@@ -90,6 +105,9 @@ from repro.util.errors import ValidationError
 
 __all__ = [
     "BACKENDS",
+    "STEP_STRATEGIES",
+    "frontier_sweep",
+    "resolve_step",
     "validate_backend",
     "vectorized_bfs",
     "vectorized_parallel_bfs",

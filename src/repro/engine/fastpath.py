@@ -12,6 +12,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.congest.metrics import Metrics
+from repro.engine.kernels import (
+    expand_csr_rows,
+    frontier_sweep,
+    last_send_round_spans,
+    resolve_step,
+    upcast_rounds,
+    upcast_spans,
+)
 from repro.graphs.graph import Graph
 from repro.primitives.bfs import BFSResult
 from repro.primitives.pipeline import TreeBroadcastOutcome
@@ -19,7 +27,7 @@ from repro.util.bits import bits_for_int, bits_for_int_array, message_bit_budget
 from repro.util.errors import BandwidthExceeded, ValidationError
 
 __all__ = [
-    "expand_csr_rows",
+    "expand_csr_rows",  # re-exported from repro.engine.kernels
     "vectorized_bfs",
     "vectorized_parallel_bfs",
     "vectorized_elect_leader",
@@ -44,74 +52,10 @@ def _channel_adjacency(
     return graph.masked_csr(edge_mask)
 
 
-def expand_csr_rows(
-    indptr: np.ndarray, rows: np.ndarray
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Flat slot indices of all CSR adjacency entries of ``rows``.
-
-    Returns ``(sel, counts, offs)``: ``sel`` indexes the CSR data array with
-    each row's block contiguous in row order, ``counts`` is the per-row
-    block length, and ``offs`` the within-block rank of each entry. Shared
-    by every whole-frontier sweep here and in :mod:`repro.engine.faults`.
-    """
-    counts = indptr[rows + 1] - indptr[rows]
-    total = int(counts.sum())
-    base = np.repeat(indptr[rows], counts)
-    offs = np.arange(total, dtype=np.int64) - np.repeat(
-        np.cumsum(counts) - counts, counts
-    )
-    return base + offs, counts, offs
-
-
-def _frontier_sweep(
-    n: int, indptr: np.ndarray, indices: np.ndarray, root: int
-) -> tuple[np.ndarray, np.ndarray]:
-    """BFS (parent, dist) with the smallest-previous-layer-neighbor parent.
-
-    One vectorized gather per layer: all frontier adjacency blocks are
-    expanded at once, then a lexsort picks, per newly reached node, the
-    smallest announcing neighbor — exactly the simulator's first-port
-    adoption, since ports are numbered in neighbor-id order.
-    """
-    dist = np.full(n, -1, dtype=np.int64)
-    parent = np.full(n, -1, dtype=np.int64)
-    dist[root] = 0
-    parent[root] = root
-    frontier = np.array([root], dtype=np.int64)
-    d = 0
-    while frontier.size:
-        sel, counts, _offs = expand_csr_rows(indptr, frontier)
-        if sel.size == 0:
-            break
-        dst = indices[sel]
-        src = np.repeat(frontier, counts)
-        fresh = dist[dst] < 0
-        if not fresh.any():
-            break
-        dst = dst[fresh]
-        src = src[fresh]
-        order = np.lexsort((src, dst))
-        dst = dst[order]
-        src = src[order]
-        first = np.ones(dst.size, dtype=bool)
-        first[1:] = dst[1:] != dst[:-1]
-        d += 1
-        frontier = dst[first]
-        dist[frontier] = d
-        parent[frontier] = src[first]
-    return parent, dist
-
-
-def _children_lists(parent: np.ndarray) -> list[list[int]]:
-    """Per-node sorted child lists from a parent array (canonical order)."""
-    n = len(parent)
-    children: list[list[int]] = [[] for _ in range(n)]
-    ids = np.arange(n)
-    kids = np.nonzero((parent >= 0) & (parent != ids))[0]
-    order = np.argsort(parent[kids], kind="stable")  # kids already ascending
-    for p, v in zip(parent[kids][order].tolist(), kids[order].tolist()):
-        children[p].append(v)
-    return children
+# BFS sweeps and tree-children construction live in repro.engine.kernels
+# (frontier_sweep / tree_parents / children_lists), shared with
+# repro.engine.faults; expand_csr_rows is re-exported above for callers
+# that imported it from here.
 
 
 # --------------------------------------------------------------------------- #
@@ -130,14 +74,14 @@ def vectorized_bfs(
     if not (0 <= root < graph.n):
         raise ValidationError(f"root {root} out of range")
     indptr, indices = _channel_adjacency(graph, edge_mask)
-    parent, dist = _frontier_sweep(graph.n, indptr, indices, root)
+    parent, dist = frontier_sweep(graph.n, indptr, indices, root)
     depth = int(dist.max())
     rounds = depth + 1 if indptr[root + 1] > indptr[root] else 0
     return BFSResult(
         root=root,
         parent=parent,
         dist=dist,
-        children=_children_lists(parent),
+        children=None,  # derived lazily from parent — identical lists
         rounds=rounds,
     )
 
@@ -162,14 +106,17 @@ def vectorized_parallel_bfs(
         roots = [0] * len(masks)
     if len(roots) != len(masks):
         raise ValidationError("need one root per channel")
+    for root in roots:
+        if not (0 <= root < graph.n):
+            raise ValidationError(f"root {root} out of range")
+    if len(masks) >= 2 and graph.m:
+        return _batched_parallel_bfs(graph, masks, roots)
 
     results: list[BFSResult] = []
     rounds = 0
     for mask, root in zip(masks, roots):
-        if not (0 <= root < graph.n):
-            raise ValidationError(f"root {root} out of range")
         indptr, indices = _channel_adjacency(graph, mask)
-        parent, dist = _frontier_sweep(graph.n, indptr, indices, root)
+        parent, dist = frontier_sweep(graph.n, indptr, indices, root)
         if indptr[root + 1] > indptr[root]:
             rounds = max(rounds, int(dist.max()) + 1)
         results.append(
@@ -177,7 +124,65 @@ def vectorized_parallel_bfs(
                 root=root,
                 parent=parent,
                 dist=dist,
-                children=_children_lists(parent),
+                children=None,  # derived lazily from parent — identical lists
+                rounds=0,  # patched below: the joint clock is shared
+            )
+        )
+    for r in results:
+        r.rounds = rounds
+    return results, rounds
+
+
+def _batched_parallel_bfs(
+    graph: Graph, masks: list[np.ndarray], roots: list[int]
+) -> tuple[list[BFSResult], int]:
+    """All channels in **one** frontier sweep over their disjoint union.
+
+    Channel ``c``'s subgraph is laid out on nodes ``[c·n, (c+1)·n)``;
+    edge-disjointness means the components never touch, so a multi-root
+    :func:`frontier_sweep` advances every channel on the shared clock the
+    simulator already uses — one layer loop and one parents pass in total
+    instead of one *per channel*, and no per-channel ``masked_csr``
+    builds. Per-channel slices of the result are bit-identical to solo
+    sweeps (components are independent, and within a component the parent
+    offsets cancel).
+    """
+    n = graph.n
+    C = len(masks)
+    big_n = C * n
+    subs = graph.disjoint_masked_csrs(masks)
+    # Shift each channel's neighbor ids into its node block, writing
+    # straight into the union array (no per-channel temporaries — at
+    # n = 10⁶ those were hundreds of MB of throwaway allocations).
+    big_indices = np.empty(sum(ind.size for _ip, ind in subs), dtype=np.int64)
+    lo = 0
+    for c, (_ip, ind) in enumerate(subs):
+        np.add(ind, c * n, out=big_indices[lo : lo + ind.size])
+        lo += ind.size
+    big_indptr = np.zeros(big_n + 1, dtype=np.int64)
+    np.cumsum(
+        np.concatenate([np.diff(ip) for ip, _ind in subs]), out=big_indptr[1:]
+    )
+    roots_arr = (
+        np.arange(C, dtype=np.int64) * n + np.asarray(roots, dtype=np.int64)
+    )
+    parent_big, dist_big = frontier_sweep(big_n, big_indptr, big_indices, roots_arr)
+
+    results: list[BFSResult] = []
+    rounds = 0
+    for c, root in enumerate(roots):
+        off = c * n
+        pb = parent_big[off : off + n]
+        parent = np.where(pb >= 0, pb - off, pb)
+        dist = dist_big[off : off + n]
+        if big_indptr[off + root + 1] > big_indptr[off + root]:
+            rounds = max(rounds, int(dist.max()) + 1)
+        results.append(
+            BFSResult(
+                root=root,
+                parent=parent,
+                dist=dist,
+                children=None,  # derived lazily from parent — identical lists
                 rounds=0,  # patched below: the joint clock is shared
             )
         )
@@ -304,9 +309,10 @@ def _last_send_round(arrival_rounds: np.ndarray, arrival_counts: np.ndarray) -> 
 def vectorized_tree_broadcast(
     graph: Graph,
     trees: dict[int, BFSResult],
-    messages: dict[int, dict[int, list[int]]],
+    messages: dict[int, dict[int, list[int] | np.ndarray]],
     verify: bool = True,
     bandwidth_factor: int = 8,
+    step: str | None = None,
 ) -> TreeBroadcastOutcome:
     """Fast-path :func:`repro.primitives.pipeline.run_tree_broadcast`.
 
@@ -329,17 +335,54 @@ def vectorized_tree_broadcast(
     ``verify`` is accepted for signature parity; delivery holds by
     construction once every tree spans (checked below), which the
     equivalence suite cross-validates against the simulator's counters.
+
+    ``step`` picks the upcast stepping strategy (see
+    :func:`repro.engine.kernels.resolve_step`): ``"span"`` (default)
+    batches whole tree layers, ``"round"`` replays the per-round
+    reference sweep. Both are bit-identical; ``"span"`` falls back to
+    ``"round"`` when a tree is not BFS-layered.
     """
     n = graph.n
     cids = sorted(trees)
     per_channel_k: dict[int, int] = {}
+    # One pass over each channel's placement caches (origin nodes, queue
+    # lengths, flat id array): validation here, the own-matrix fill, and
+    # the bit ledger below all reuse them instead of re-flattening k
+    # Python ints per consumer. Placement values may be lists or int64
+    # arrays (the vectorized broadcast split hands over numpy views).
+    # ids_arr is None only when an id exceeds int64 — those channels are
+    # priced individually through Python ints, as before.
+    chan_cache: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray | None]] = {}
     for cid, placement in messages.items():
         if cid not in trees:
             raise ValidationError(f"messages given for unknown channel {cid}")
-        ids = [m for msgs in placement.values() for m in msgs]
-        if len(set(ids)) != len(ids):
+        node_ids = np.fromiter(placement.keys(), dtype=np.int64, count=len(placement))
+        lens = np.fromiter(
+            (len(msgs) for msgs in placement.values()),
+            dtype=np.int64,
+            count=len(placement),
+        )
+        ids_arr: np.ndarray | None
+        try:
+            ids_arr = (
+                np.concatenate(
+                    [np.asarray(msgs, dtype=np.int64) for msgs in placement.values()]
+                )
+                if placement
+                else np.empty(0, dtype=np.int64)
+            )
+            ids_sorted = np.sort(ids_arr)
+            dup = bool((ids_sorted[1:] == ids_sorted[:-1]).any())
+            k_c = int(ids_arr.size)
+        except OverflowError:  # ids beyond int64: fall back to Python ints
+            ids_arr = None
+            ids = [m for msgs in placement.values() for m in msgs]
+            dup = len(set(ids)) != len(ids)
+            k_c = len(ids)
+        if dup:
             raise ValidationError(f"duplicate message ids on channel {cid}")
-        per_channel_k[cid] = len(ids)
+        per_channel_k[cid] = k_c
+        chan_cache[cid] = (node_ids, lens, ids_arr)
     for cid in cids:
         per_channel_k.setdefault(cid, 0)
         if not trees[cid].spans():
@@ -361,22 +404,32 @@ def vectorized_tree_broadcast(
         parents[ci] = tree.parent
         dists[ci] = tree.dist
         nonroot[ci] = tree.parent != np.arange(n)
-        for v, msgs in messages.get(cid, {}).items():
-            own[ci, v] = len(msgs)
+        cached = chan_cache.get(cid)
+        if cached is not None and cached[0].size:
+            own[ci, cached[0]] = cached[1]
+
+    # Tree-edge ids, computed once in a single batched query (one
+    # searchsorted over all channels' tree edges): the disjointness gate
+    # and the congestion ledger below both consume them.
+    tree_vs = [np.nonzero(nonroot[ci])[0] for ci in range(C)]
+    eids_flat = graph.edge_ids_for_pairs(
+        np.concatenate([parents[ci][tree_vs[ci]] for ci in range(C)]),
+        np.concatenate(tree_vs),
+    )
+    eid_bounds = np.zeros(C + 1, dtype=np.int64)
+    np.cumsum([vs.size for vs in tree_vs], out=eid_bounds[1:])
+    tree_eids = [
+        eids_flat[eid_bounds[ci] : eid_bounds[ci + 1]] for ci in range(C)
+    ]
 
     # The simulator would raise BandwidthExceeded on the first double-send
-    # over a shared edge; the fast path rejects overlap up front.
-    if n > 1 and C > 1:
-        tree_eids = [
-            graph.edge_ids_for_pairs(
-                parents[ci][nonroot[ci]], np.nonzero(nonroot[ci])[0]
-            )
-            for ci in range(C)
-        ]
-        use = np.zeros(graph.m, dtype=np.int64)
-        for eids in tree_eids:
-            use[eids] += 1
-        if use.max() > 1:
+    # over a shared edge; the fast path rejects overlap up front. Any edge
+    # used twice — across channels or within one malformed tree — is a
+    # duplicate in the flat id array, so sorting the O(Σ|V|) tree edges
+    # replaces the old O(m) per-edge counting pass.
+    if n > 1 and C > 1 and eids_flat.size:
+        eids_sorted = np.sort(eids_flat)
+        if bool((eids_sorted[1:] == eids_sorted[:-1]).any()):
             raise ValidationError(
                 "trees must be edge-disjoint (the simulator would refuse the "
                 "double-send)"
@@ -390,30 +443,26 @@ def vectorized_tree_broadcast(
     chan_origins: list[np.ndarray] = []
     chan_bits: list[np.ndarray] = []
     for cid in cids:
-        placement = messages.get(cid, {})
         k_c = per_channel_k[cid]
         if not k_c:
             chan_origins.append(np.empty(0, dtype=np.int64))
             chan_bits.append(np.empty(0, dtype=np.int64))
             continue
-        node_ids = np.fromiter(placement.keys(), dtype=np.int64, count=len(placement))
-        lens = np.fromiter(
-            (len(msgs) for msgs in placement.values()),
-            dtype=np.int64,
-            count=len(placement),
-        )
-        ids_list = [m for msgs in placement.values() for m in msgs]
-        try:
-            bits = 2 + bits_for_int(cid) + bits_for_int_array(
-                np.fromiter(ids_list, dtype=np.int64, count=k_c)
-            )
-        except OverflowError:  # ids beyond int64: price individually
+        node_ids, lens, ids_arr = chan_cache[cid]
+        if ids_arr is not None:
+            bits = 2 + bits_for_int(cid) + bits_for_int_array(ids_arr)
+        else:  # ids beyond int64: price individually
+            ids_list = [m for msgs in messages[cid].values() for m in msgs]
             bits = np.array(
                 [2 + bits_for_int(cid) + bits_for_int(m) for m in ids_list],
                 dtype=np.int64,
             )
         if n > 1 and int(bits.max()) > budget:
-            worst = ids_list[int(np.argmax(bits))]
+            worst = (
+                int(ids_arr[int(np.argmax(bits))])
+                if ids_arr is not None
+                else ids_list[int(np.argmax(bits))]
+            )
             raise BandwidthExceeded(
                 f"payload of {int(bits.max())} bits exceeds budget {budget} "
                 f"(payload={(1, cid, worst)!r})"
@@ -432,75 +481,75 @@ def vectorized_tree_broadcast(
     #      pipeline: the root's last down-send at round t_last drains at the
     #      deepest leaf in round t_last + depth(T), which is the round the
     #      simulator goes quiet;
-    #   3. the upcast therefore only needs the *root's arrival stream*, which
-    #      one sparse sweep over the nonempty UP queues of all channels
-    #      yields in O(Σ_msg depth(origin)) total work.
+    #   3. the upcast therefore only needs the *root's arrival stream*: the
+    #      "round" strategy replays it with one sparse sweep over the
+    #      nonempty UP queues per round (kernels.upcast_rounds,
+    #      O(Σ_msg depth(origin)) work), while the default "span" strategy
+    #      batches whole tree layers through the event-span algebra
+    #      (kernels.upcast_spans, no per-round Python iteration at all).
     up = np.where(nonroot, own, 0).ravel()
     flat_parents = (parents + (np.arange(C) * n)[:, None]).ravel()
     is_root = ~nonroot.ravel()
-    active = np.nonzero(up > 0)[0]
-    hit_flat: list[np.ndarray] = []  # root arrivals: flat index / count / round
-    hit_count: list[np.ndarray] = []
-    hit_round: list[np.ndarray] = []
-    r = 0
-    while active.size:  # `active` is kept sorted and duplicate-free
-        up[active] -= 1  # every nonempty UP queue sends one item to its parent
-        r += 1
-        tgt = flat_parents[active]
-        tgt.sort()
-        head = np.empty(tgt.size, dtype=bool)
-        head[0] = True
-        np.not_equal(tgt[1:], tgt[:-1], out=head[1:])
-        starts = np.nonzero(head)[0]
-        targets = tgt[starts]
-        counts = np.diff(starts, append=tgt.size)
-        at_root = is_root[targets]
-        if at_root.any():
-            hit_flat.append(targets[at_root])
-            hit_count.append(counts[at_root])
-            hit_round.append(np.full(int(at_root.sum()), r, dtype=np.int64))
-        relayed = targets[~at_root]
-        up[relayed] += counts[~at_root]
-        # Merge (sorted ∪ sorted): survivors of the decrement + relay targets.
-        merged = np.concatenate([active[up[active] > 0], relayed])
-        merged.sort()
-        keep = np.empty(merged.size, dtype=bool)
-        if merged.size:
-            keep[0] = True
-            np.not_equal(merged[1:], merged[:-1], out=keep[1:])
-        active = merged[keep]
 
-    if hit_flat:
-        hf = np.concatenate(hit_flat)
-        hc = np.concatenate(hit_count)
-        hr = np.concatenate(hit_round)
-    else:
-        hf = hc = hr = np.empty(0, dtype=np.int64)
+    strategy = resolve_step(step)
+    if strategy == "span":
+        flat_dist = dists.ravel()
+        nr = ~is_root
+        if not (
+            np.all(flat_dist[is_root] == 0)
+            and np.all(flat_dist[nr] == flat_dist[flat_parents[nr]] + 1)
+        ):
+            strategy = "round"  # non-BFS layering: keep the per-round reference
 
     root_own = own[~nonroot]  # one entry per channel, in channel order
     rounds = 0
-    for ci, cid in enumerate(cids):
-        if per_channel_k[cid] == 0:
-            continue  # no sends on this channel at all
-        sel = (hf // n) == ci
-        arr_rounds = hr[sel]  # strictly increasing (≤ one batch per round)
-        arr_counts = hc[sel]
-        if root_own[ci]:
-            arr_rounds = np.concatenate([[0], arr_rounds])
-            arr_counts = np.concatenate([[int(root_own[ci])], arr_counts])
-        t_last = _last_send_round(arr_rounds, arr_counts)
-        rounds = max(rounds, t_last + int(dists[ci].max()))
+    if strategy == "span":
+        sn, sb, se, sr = upcast_spans(up, flat_parents, flat_dist)
+        span_chan = sn // n
+        for ci, cid in enumerate(cids):
+            if per_channel_k[cid] == 0:
+                continue  # no sends on this channel at all
+            sel = span_chan == ci
+            starts = sb[sel]  # disjoint spans, sorted by start
+            ends = se[sel]
+            rates = sr[sel]
+            if root_own[ci]:
+                zero = np.zeros(1, dtype=np.int64)
+                starts = np.concatenate([zero, starts])
+                ends = np.concatenate([zero, ends])
+                rates = np.concatenate([[int(root_own[ci])], rates])
+            t_last = last_send_round_spans(starts, ends, rates)
+            rounds = max(rounds, t_last + int(dists[ci].max()))
+    else:
+        hf, hc, hr = upcast_rounds(up, flat_parents, is_root)
+        for ci, cid in enumerate(cids):
+            if per_channel_k[cid] == 0:
+                continue  # no sends on this channel at all
+            sel = (hf // n) == ci
+            arr_rounds = hr[sel]  # strictly increasing (≤ one batch per round)
+            arr_counts = hc[sel]
+            if root_own[ci]:
+                arr_rounds = np.concatenate([[0], arr_rounds])
+                arr_counts = np.concatenate([[int(root_own[ci])], arr_counts])
+            t_last = _last_send_round(arr_rounds, arr_counts)
+            rounds = max(rounds, t_last + int(dists[ci].max()))
 
     # ---- exact metrics: closed-form congestion and totals ---------------- #
+    # One flattened convergecast covers every channel at once (channel
+    # blocks are disjoint in flat space), replacing C per-channel layer
+    # loops — at depth ~10³ and C trees those Python loops were the
+    # dominant metrics cost.
+    sub_flat = _subtree_sums(flat_parents, dists.ravel(), own.ravel())
     total_bits = 0
     for ci, cid in enumerate(cids):
         k_c = per_channel_k[cid]
-        vs = np.nonzero(nonroot[ci])[0]
+        vs = tree_vs[ci]
         if vs.size == 0:
             continue
-        sub = _subtree_sums(parents[ci], dists[ci], own[ci])
-        eids = graph.edge_ids_for_pairs(parents[ci][vs], vs)
-        np.add.at(metrics.edge_messages, eids, k_c + sub[vs])
+        sub = sub_flat[ci * n : (ci + 1) * n]
+        # A tree visits each edge once, so the ids are distinct and a plain
+        # fancy-indexed add lands every update (no unbuffered ufunc.at).
+        metrics.edge_messages[tree_eids[ci]] += k_c + sub[vs]
         # bits: each id crosses (n-1) tree edges down + its origin depth up
         if chan_bits[ci].size:
             traversals = dists[ci][chan_origins[ci]] + (n - 1)

@@ -39,7 +39,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.congest.adversary import FaultPlan
-from repro.engine.fastpath import expand_csr_rows
+from repro.engine.kernels import (
+    expand_csr_rows,
+    frontier_sweep,
+    resolve_step,
+)
 from repro.graphs.graph import Graph
 from repro.primitives.bfs import BFSResult
 from repro.util.errors import ValidationError
@@ -129,12 +133,65 @@ _KIND_CHILD = 0  # canonical per-node send order: CHILD notice first,
 _KIND_ANNOUNCE = 1  # then layer announces on the remaining ports ascending
 
 
+def _span_faulty_bfs(
+    graph: Graph,
+    root: int,
+    stream: FaultStream,
+    edge_mask: np.ndarray | None,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+) -> FaultyBFSOutcome:
+    """Closed-form faulty BFS when the only faults are dead edges.
+
+    With no coin drops and no mobile set, the adversary is a static edge
+    deletion: adoption is plain BFS on the masked graph *minus* the dead
+    edges (one :func:`frontier_sweep`, no per-round loop), every surviving
+    child-notice arrives (the notice rides the adoption edge, which is by
+    definition alive), and the drop count is exactly one crossing per
+    (dead masked edge, adopted endpoint) pair — an adopted node sends on
+    *every* masked port exactly once.
+    """
+    n = graph.n
+    if stream.dead.any():
+        base = (
+            np.asarray(edge_mask, dtype=bool)
+            if edge_mask is not None
+            else np.ones(graph.m, dtype=bool)
+        )
+        pindptr, pindices = graph.masked_csr(base & ~stream.dead)
+    else:
+        pindptr, pindices = indptr, indices
+    parent, dist = frontier_sweep(n, pindptr, pindices, root)
+    # The clock runs off the *masked* graph: the root's round-1 batch exists
+    # as soon as it has any usable port, dead or not.
+    rounds = int(dist.max()) + 1 if indptr[root + 1] > indptr[root] else 0
+    dropped = 0
+    if stream.dead.any():
+        de = np.nonzero(stream.dead)[0]
+        if edge_mask is not None:
+            de = de[np.asarray(edge_mask, dtype=bool)[de]]
+        dropped = int(
+            (dist[graph.edge_u[de]] >= 0).sum() + (dist[graph.edge_v[de]] >= 0).sum()
+        )
+    result = BFSResult(
+        root=root,
+        parent=parent,
+        dist=dist,
+        children=None,  # rate-0 plans drop no child-notices: parent-derived
+        rounds=rounds,
+    )
+    return FaultyBFSOutcome(
+        result=result, dropped=dropped, fault_rng_state=stream.rng_state
+    )
+
+
 def vectorized_faulty_bfs(
     graph: Graph,
     root: int,
     plan: FaultPlan | None = None,
     fault_seed=0,
     edge_mask: np.ndarray | None = None,
+    step: str | None = None,
 ) -> FaultyBFSOutcome:
     """Fast-path twin of the Lemma 2 flood on a :class:`FaultySimulator`.
 
@@ -145,6 +202,12 @@ def vectorized_faulty_bfs(
     with a larger dist, or never (``dist = -1``). A dropped child-notice
     leaves the child out of its parent's ``children`` list even though the
     child keeps the parent pointer, exactly like the simulator.
+
+    ``step="span"`` (the default, see
+    :func:`repro.engine.kernels.resolve_step`) replaces the per-round loop
+    with one closed-form sweep whenever the plan has no coin drops and no
+    mobile adversary — round-dependent faults force the ``"round"`` replay.
+    Both strategies are bit-identical where both apply.
     """
     if not (0 <= root < graph.n):
         raise ValidationError(f"root {root} out of range")
@@ -154,6 +217,12 @@ def vectorized_faulty_bfs(
     indptr, indices = graph.masked_csr(
         None if edge_mask is None else np.asarray(edge_mask, dtype=bool)
     )
+    if (
+        resolve_step(step) == "span"
+        and stream.rate == 0.0
+        and not stream.mobile
+    ):
+        return _span_faulty_bfs(graph, root, stream, edge_mask, indptr, indices)
     degs = np.diff(indptr)
     arc_eids = (
         graph.edge_ids_for_pairs(np.repeat(np.arange(n), degs), indices)
@@ -249,6 +318,7 @@ def faulty_bfs(
     fault_seed=0,
     edge_mask: np.ndarray | None = None,
     backend: str = "simulator",
+    step: str | None = None,
 ) -> FaultyBFSOutcome:
     """Lemma 2's flood under a fault plan, on either backend.
 
@@ -256,13 +326,20 @@ def faulty_bfs(
     on a :class:`~repro.congest.faults.FaultySimulator`;
     ``backend="vectorized"`` produces the bit-identical outcome (forest,
     round count, drop count, fault RNG state) via
-    :func:`vectorized_faulty_bfs`.
+    :func:`vectorized_faulty_bfs`. ``step`` selects the vectorized
+    stepping strategy and is ignored by the simulator (which is always
+    per-round).
     """
     from repro.engine import validate_backend
 
     if validate_backend(backend) == "vectorized":
         return vectorized_faulty_bfs(
-            graph, root, plan=plan, fault_seed=fault_seed, edge_mask=edge_mask
+            graph,
+            root,
+            plan=plan,
+            fault_seed=fault_seed,
+            edge_mask=edge_mask,
+            step=step,
         )
     from repro.congest.faults import FaultySimulator
     from repro.congest.network import Network
@@ -345,6 +422,7 @@ class _Channel:
     __slots__ = (
         "root",
         "parent",
+        "dist",
         "up_eid",
         "cindptr",
         "cind",
@@ -359,26 +437,19 @@ class _Channel:
         n = graph.n
         self.root = int(tree.root)
         self.parent = np.asarray(tree.parent, dtype=np.int64)
+        self.dist = np.asarray(tree.dist, dtype=np.int64)
         ids = np.arange(n)
         nonroot = self.parent != ids
         self.up_eid = np.full(n, -1, dtype=np.int64)
         vs = np.nonzero(nonroot)[0]
         if vs.size:
             self.up_eid[vs] = graph.edge_ids_for_pairs(self.parent[vs], vs)
-        counts = np.fromiter(
-            (len(tree.children[v]) for v in range(n)), dtype=np.int64, count=n
-        )
-        self.cindptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(counts, out=self.cindptr[1:])
-        total = int(counts.sum())
-        self.cind = np.fromiter(
-            (c for v in range(n) for c in tree.children[v]),
-            dtype=np.int64,
-            count=total,
-        )
+        self.cindptr, self.cind = tree.children_as_csr()
         self.ceid = (
-            graph.edge_ids_for_pairs(np.repeat(ids, counts), self.cind)
-            if total
+            graph.edge_ids_for_pairs(
+                np.repeat(ids, np.diff(self.cindptr)), self.cind
+            )
+            if self.cind.size
             else np.empty(0, dtype=np.int64)
         )
         # Queues, seeded exactly like _TrackingProgram.__init__: the root's
@@ -397,12 +468,247 @@ class _Channel:
         self.down_mid = np.full(n, -1, dtype=np.int64)
 
 
+def _span_broadcast_viable(n: int, chans: list[_Channel], kmax: list[int]) -> bool:
+    """Preconditions of the closed-form downcast, checked per channel.
+
+    The span path needs a proper BFS layering of the children arcs (root
+    depth 0, child depth = parent depth + 1, at most one parent arc per
+    node, all depths known) so emissions pipeline at exactly one layer
+    per round, and a bounded packed hole matrix (n × ceil(K/8) bytes,
+    capped at ~256 MB using the a-priori bound K ≤ items placed on the
+    channel). Anything else falls back to the per-round replay.
+    """
+    for st, k in zip(chans, kmax):
+        if n * ((k + 7) // 8) > (1 << 28):
+            return False
+        if st.dist[st.root] != 0 or np.any(st.dist < 0):
+            return False
+        if st.cind.size:
+            if np.bincount(st.cind, minlength=n).max() > 1:
+                return False
+            arc_parent = np.repeat(np.arange(n, dtype=np.int64), np.diff(st.cindptr))
+            if not np.array_equal(st.dist[st.cind], st.dist[arc_parent] + 1):
+                return False
+    return True
+
+
+def _mobile_down_kills(
+    st: _Channel, plan: FaultPlan, r_emit: np.ndarray, arc_dead: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Mobile-adversary hits on the downcast, as (arc index, emission index).
+
+    The crossing of emission ``i`` on the arc into a depth-``d`` child
+    happens in round ``r_emit[i] + d - 1``, so a mobile fault at round ρ
+    on that arc's edge kills emission ``i = r_emit⁻¹(ρ - d + 1)`` — if
+    that round is an actual emission round and the arc is not already
+    dead (dead edges drop first; the crossing must not double-count).
+    """
+    empty = np.empty(0, dtype=np.int64)
+    if not plan.mobile or st.ceid.size == 0:
+        return empty, empty
+    order = np.argsort(st.ceid, kind="stable")
+    sc = st.ceid[order]
+    dep_child = st.dist[st.cind]
+    arcs_l: list[np.ndarray] = []
+    idx_l: list[np.ndarray] = []
+    for rho, edges in plan.mobile.items():
+        if not edges:
+            continue
+        arr = np.fromiter(edges, dtype=np.int64, count=len(edges))
+        pos = np.minimum(np.searchsorted(sc, arr), sc.size - 1)
+        arcs = order[pos[sc[pos] == arr]]  # ≤ one arc per edge per tree
+        if not arcs.size:
+            continue
+        t = rho - dep_child[arcs] + 1
+        i = np.minimum(np.searchsorted(r_emit, t), r_emit.size - 1)
+        ok = (r_emit[i] == t) & (t >= 1) & ~arc_dead[arcs]
+        arcs_l.append(arcs[ok])
+        idx_l.append(i[ok])
+    if not arcs_l:
+        return empty, empty
+    return np.concatenate(arcs_l), np.concatenate(idx_l)
+
+
+def _span_faulty_broadcast(
+    graph: Graph,
+    chans: list[_Channel],
+    stream: FaultStream,
+    plan: FaultPlan,
+    mid_index: np.ndarray,
+    mid_row: dict[int, int],
+    recv: np.ndarray,
+    cid_bits: np.ndarray,
+    nbytes: int,
+) -> FaultyBroadcastOutcome:
+    """Event-batched twin of the per-round faulty broadcast (rate-0 plans).
+
+    Phase 1 replays only the upcast per round (its total volume is the
+    sum of origin depths — the cheap part), collecting each root's
+    emission availability schedule. Phase 2 is closed-form per channel:
+    the root's emission rounds follow ``r_i = max(avail_i, r_{i-1}+1)``,
+    every emission pipelines down one layer per round, and which
+    emissions reach which node is propagated layer-by-layer through a
+    packed *hole matrix* ``H`` (bit set = emission missing): a live arc
+    copies the parent's holes, a dead arc keeps the child all-holes
+    (charging one drop per emission the parent forwards), and each
+    mobile hit punches one extra hole. Receipt rows, drop totals,
+    send-time message/bit charges, and the final round all read off
+    ``H`` — with the fault RNG untouched, exactly like the per-round
+    replay at rate 0.
+    """
+    from repro.util.bits import bits_for_int_array
+
+    n = graph.n
+    total_messages = 0
+    total_bits = 0
+    rounds = 0
+    dropped_down = 0
+
+    # ---- phase 1: per-round upcast replay ------------------------------- #
+    avails: list[list[int]] = [[1] * len(st.root_dq) for st in chans]
+    rnd = 0
+    while any(st.up_q for st in chans):
+        rnd += 1
+        rounds = rnd
+        # Splitting the round's batch per channel is exact at rate 0: dead
+        # and mobile lookups are elementwise and the coin RNG is never drawn.
+        for ci, st in enumerate(chans):
+            if not st.up_q:
+                continue
+            uvs = sorted(st.up_q)
+            uarr = np.asarray(uvs, dtype=np.int64)
+            umids = np.fromiter(
+                (st.up_q[v][0] for v in uvs), dtype=np.int64, count=uarr.size
+            )
+            total_messages += uarr.size
+            total_bits += int((2 + cid_bits[ci] + bits_for_int_array(umids)).sum())
+            alive = stream.deliver_mask(rnd, st.up_eid[uarr])
+            for v in uvs:  # pops precede deliveries, as in send_phase()
+                q = st.up_q[v]
+                q.popleft()
+                if not q:
+                    del st.up_q[v]
+            for j, v in enumerate(uvs):
+                if not alive[j]:
+                    continue
+                d = int(st.parent[v])
+                m_ = int(umids[j])
+                if d == st.root:
+                    recv[mid_row[m_], d >> 3] |= np.uint8(1 << (d & 7))
+                    st.root_dq.append(m_)
+                    avails[ci].append(rnd + 1)  # poppable from the next round
+                else:
+                    q = st.up_q.get(d)
+                    if q is None:
+                        q = st.up_q[d] = deque()
+                    q.append(m_)
+
+    # ---- phase 2: closed-form downcast per channel ----------------------- #
+    for ci, st in enumerate(chans):
+        K = len(st.root_dq)
+        if K == 0:
+            continue
+        dmids = np.asarray(st.root_dq, dtype=np.int64)
+        av = np.asarray(avails[ci], dtype=np.int64)
+        ar = np.arange(K, dtype=np.int64)
+        r_emit = ar + np.maximum.accumulate(av - ar)  # r_i = max(a_i, r_{i-1}+1)
+        nchild = np.diff(st.cindptr)
+        if int(nchild[st.root]) == 0:
+            # Childless root (single-node graph): no sends, but draining the
+            # queue keeps the simulator's busy flag up for K - 1 more rounds.
+            rounds = max(rounds, K - 1)
+            continue
+        bits_w = 2 + int(cid_bits[ci]) + bits_for_int_array(dmids)
+        dep = st.dist
+        Kb = (K + 7) // 8
+        H = np.full((n, Kb), 0xFF, dtype=np.uint8)  # bit set = emission missing
+        seed = np.zeros(Kb, dtype=np.uint8)
+        if K & 7:
+            seed[-1] = np.uint8((0xFF << (K & 7)) & 0xFF)  # padding stays holes
+        H[st.root] = seed
+        R = np.zeros(n, dtype=np.int64)  # received-emission count per node
+        B = np.zeros(n, dtype=np.int64)  # received-emission bit-price sum
+        R[st.root] = K
+        B[st.root] = int(bits_w.sum())
+
+        arc_parent = np.repeat(np.arange(n, dtype=np.int64), nchild)
+        arc_dead = stream.dead[st.ceid]
+        kill_arc, kill_i = _mobile_down_kills(st, plan, r_emit, arc_dead)
+        kill_dep = dep[st.cind[kill_arc]]
+        arc_dep = dep[st.cind]
+        order = np.argsort(arc_dep, kind="stable")
+        sdep = arc_dep[order]
+        for d in range(1, int(arc_dep.max()) + 1):
+            la = order[np.searchsorted(sdep, d) : np.searchsorted(sdep, d + 1)]
+            if not la.size:
+                continue
+            dead = arc_dead[la]
+            if dead.any():
+                # The parent forwards everything it received on dead arcs
+                # too; every one of those crossings is a counted drop.
+                dropped_down += int(R[arc_parent[la[dead]]].sum())
+            live = la[~dead]
+            if live.size:
+                cs = st.cind[live]
+                ps = arc_parent[live]
+                H[cs] = H[ps]
+                R[cs] = R[ps]
+                B[cs] = B[ps]
+            ks = np.nonzero(kill_dep == d)[0]
+            if ks.size:
+                ka = kill_arc[ks]
+                ki = kill_i[ks]
+                ps = arc_parent[ka]
+                cs = st.cind[ka]
+                # A mobile hit only drops a crossing the parent made.
+                sent = (H[ps, ki >> 3] >> (ki & 7)) & 1 == 0
+                np.bitwise_or.at(H, (cs, ki >> 3), (1 << (ki & 7)).astype(np.uint8))
+                dropped_down += int(sent.sum())
+                np.subtract.at(R, cs[sent], 1)
+                np.subtract.at(B, cs[sent], bits_w[ki[sent]])
+        total_messages += int((R * nchild).sum())
+        total_bits += int((B * nchild).sum())
+
+        # Receipts: transpose ~H into the packed (mid, node) matrix. The
+        # OR-accumulate handles duplicate mids within and across channels.
+        rows = np.searchsorted(mid_index, dmids)
+        chanrecv = np.zeros((K, nbytes), dtype=np.uint8)
+        for lo in range(0, n, 4096):
+            hi = min(lo + 4096, n)
+            bits = np.unpackbits(~H[lo:hi], axis=1, bitorder="little")[:, :K]
+            pk = np.packbits(bits.T, axis=1, bitorder="little")
+            chanrecv[:, lo >> 3 : (lo >> 3) + pk.shape[1]] |= pk
+        np.bitwise_or.at(recv, rows, chanrecv)
+
+        # Last crossing: every sender forwards its latest-received emission
+        # j at round r_emit[j] + depth (crossings on dead arcs included).
+        senders = np.nonzero((nchild > 0) & (R > 0))[0]
+        for lo in range(0, senders.size, 4096):
+            vs = senders[lo : lo + 4096]
+            bits = np.unpackbits(~H[vs], axis=1, bitorder="little")[:, :K]
+            j = K - 1 - np.argmax(bits[:, ::-1], axis=1)
+            rounds = max(rounds, int((r_emit[j] + dep[vs]).max()))
+
+    return FaultyBroadcastOutcome(
+        rounds=rounds,
+        dropped=stream.dropped + dropped_down,
+        mids=mid_index,
+        receipt_counts=_popcount_rows(recv),
+        receipt_bits=recv,
+        n=n,
+        fault_rng_state=stream.rng_state,
+        total_messages=total_messages,
+        total_bits=total_bits,
+    )
+
+
 def vectorized_faulty_broadcast(
     graph: Graph,
     trees: dict[int, BFSResult],
     messages: dict[int, dict[int, list[int]]],
     plan: FaultPlan | None = None,
     fault_seed=0,
+    step: str | None = None,
 ) -> FaultyBroadcastOutcome:
     """Fast-path twin of the tracking broadcast on a faulty simulator.
 
@@ -421,6 +727,14 @@ def vectorized_faulty_broadcast(
     :func:`repro.engine.fastpath.vectorized_tree_broadcast`; channels are
     processed in sorted-cid order, which matches any driver that builds its
     per-node channel specs over ``{0: ..., 1: ..., ...}`` in cid order.
+
+    ``step="span"`` (the default, see
+    :func:`repro.engine.kernels.resolve_step`) runs the downcast — the
+    bulk of the work — closed-form via :func:`_span_faulty_broadcast`
+    whenever the plan draws no coins (``drop_rate == 0``; dead edges and
+    the mobile adversary are fine) and the trees are BFS-layered;
+    otherwise, and under ``step="round"``, the per-round replay below
+    runs. Both strategies are bit-identical where both apply.
     """
     plan = plan if plan is not None else FaultPlan()
     n = graph.n
@@ -473,6 +787,13 @@ def vectorized_faulty_broadcast(
             rows = np.searchsorted(mid_index, np.asarray(own, dtype=np.int64))
             np.bitwise_or.at(
                 recv, (rows, st.root >> 3), np.uint8(1 << (st.root & 7))
+            )
+
+    if resolve_step(step) == "span" and plan.drop_rate == 0.0:
+        kmax = [sum(len(ms) for ms in messages.get(cid, {}).values()) for cid in cids]
+        if _span_broadcast_viable(n, chans, kmax):
+            return _span_faulty_broadcast(
+                graph, chans, stream, plan, mid_index, mid_row, recv, cid_bits, nbytes
             )
 
     def send_phase():

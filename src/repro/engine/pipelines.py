@@ -98,12 +98,7 @@ def contract_clusters(graph: Graph, s: np.ndarray, k: int) -> Graph:
 # [BS07] spanner — the Theorem 5 / Koutis–Xu workhorse
 # --------------------------------------------------------------------------- #
 
-def _in_sorted(values: np.ndarray, table: np.ndarray) -> np.ndarray:
-    """Membership of ``values`` in the sorted array ``table``."""
-    if table.size == 0:
-        return np.zeros(values.shape, dtype=bool)
-    pos = np.minimum(np.searchsorted(table, values), table.size - 1)
-    return table[pos] == values
+from repro.engine.kernels import in_sorted as _in_sorted  # noqa: E402
 
 
 class _ArcView:

@@ -39,6 +39,8 @@ __all__ = [
     "check_apsp_pipeline",
     "check_cuts_pipeline",
     "check_faulty_bfs",
+    "check_step_strategies",
+    "check_faulty_step_strategies",
     "check_redundant_broadcast",
     "check_root_policies",
     "check_coverage_repair",
@@ -842,6 +844,301 @@ def check_tournament(graph: Graph, k: int, seed) -> list[str]:
     return []
 
 
+def check_step_strategies(graph: Graph, masks, k: int, seed, roots=None) -> list[str]:
+    """Span-batched stepping vs the per-round reference, plus direct
+    identities of the :mod:`repro.engine.kernels` primitives.
+
+    The Lemma 1 pipeline must be bit-identical under ``step="round"`` and
+    ``step="span"`` (rounds, congestion, per-edge/total messages and bits);
+    ``frontier_sweep`` must agree between its scipy SpMV path and the pure
+    numpy fallback; ``upcast_spans`` expanded per round must replay
+    ``upcast_rounds``; and the small CSR/membership helpers must match
+    their numpy one-liners.
+    """
+    import os
+
+    from repro.engine import kernels
+    from repro.engine.fastpath import vectorized_tree_broadcast
+    from repro.primitives.bfs import run_parallel_bfs
+    from repro.util.errors import ValidationError
+
+    out = []
+    n = graph.n
+    rng = ensure_rng(seed)
+
+    # -- strategy resolution -------------------------------------------- #
+    if (kernels.resolve_step("round"), kernels.resolve_step("span")) != (
+        "round",
+        "span",
+    ):
+        out.append("kernels: resolve_step mangles explicit strategies")
+    prev_step = os.environ.get("REPRO_STEP")
+    try:
+        os.environ["REPRO_STEP"] = "round"
+        if kernels.resolve_step(None) != "round" or kernels.resolve_step("auto") != "round":
+            out.append("kernels: resolve_step ignores REPRO_STEP")
+    finally:
+        if prev_step is None:
+            os.environ.pop("REPRO_STEP", None)
+        else:
+            os.environ["REPRO_STEP"] = prev_step
+    try:
+        kernels.resolve_step("bogus")
+        out.append("kernels: resolve_step accepted an unknown strategy")
+    except ValidationError:
+        pass
+
+    # -- frontier_sweep: scipy SpMV path vs pure-numpy fallback --------- #
+    root = int(rng.integers(n))
+    indptr, indices = graph._indptr, graph._indices
+    saved_min = kernels._SPMV_MIN_ARCS
+    saved_layer = kernels._SPMV_LAYER_ARCS
+    prev_noscipy = os.environ.get("REPRO_NO_SCIPY")
+    try:
+        kernels._SPMV_MIN_ARCS = 0  # force SpMV even on tiny graphs
+        kernels._SPMV_LAYER_ARCS = 0  # ... and matvec steps on tiny layers
+        os.environ.pop("REPRO_NO_SCIPY", None)
+        sp_parent, sp_dist = kernels.frontier_sweep(n, indptr, indices, root)
+        os.environ["REPRO_NO_SCIPY"] = "1"
+        np_parent, np_dist = kernels.frontier_sweep(n, indptr, indices, root)
+    finally:
+        kernels._SPMV_MIN_ARCS = saved_min
+        kernels._SPMV_LAYER_ARCS = saved_layer
+        if prev_noscipy is None:
+            os.environ.pop("REPRO_NO_SCIPY", None)
+        else:
+            os.environ["REPRO_NO_SCIPY"] = prev_noscipy
+    if not np.array_equal(sp_parent, np_parent):
+        out.append("kernels: frontier_sweep parents differ scipy vs fallback")
+    if not np.array_equal(sp_dist, np_dist):
+        out.append("kernels: frontier_sweep dists differ scipy vs fallback")
+    if kernels.scipy_sparse() is not None and os.environ.get("REPRO_NO_SCIPY"):
+        out.append("kernels: scipy_sparse ignores REPRO_NO_SCIPY")
+
+    # -- tree_parents: the python smallest-previous-layer-neighbor rule - #
+    tp = kernels.tree_parents(n, indptr, indices, np_dist, root)
+    ref_parent = np.full(n, -1, dtype=np.int64)
+    ref_parent[root] = root
+    for v in range(n):
+        if v == root or np_dist[v] < 0:
+            continue
+        prev = [
+            int(u)
+            for u in indices[indptr[v] : indptr[v + 1]]
+            if np_dist[u] == np_dist[v] - 1
+        ]
+        if prev:
+            ref_parent[v] = min(prev)
+    if not (np.array_equal(tp, ref_parent) and np.array_equal(tp, np_parent)):
+        out.append("kernels: tree_parents differs from the python reference")
+
+    # -- last_send_round_spans vs a per-round queue walk ---------------- #
+    widths = rng.integers(1, 4, size=4)
+    gaps = rng.integers(0, 3, size=4)
+    starts_l, ends_l, prev_end = [], [], 0
+    for wd, gp in zip(widths.tolist(), gaps.tolist()):
+        s = prev_end + 1 + gp
+        prev_end = s + wd - 1
+        starts_l.append(s)
+        ends_l.append(prev_end)
+    rates = rng.integers(1, 4, size=4)
+    arrivals: dict[int, int] = {}
+    for s, e, rt in zip(starts_l, ends_l, rates.tolist()):
+        for r in range(s, e + 1):
+            arrivals[r] = arrivals.get(r, 0) + rt
+    q = last_sim = 0
+    for r in range(1, max(ends_l) + int(rates.sum() * widths.sum()) + 2):
+        q += arrivals.get(r, 0)
+        if q > 0:
+            q -= 1
+            last_sim = r
+    got_last = kernels.last_send_round_spans(
+        np.asarray(starts_l, dtype=np.int64),
+        np.asarray(ends_l, dtype=np.int64),
+        rates.astype(np.int64),
+    )
+    if got_last != last_sim:
+        out.append(
+            f"kernels: last_send_round_spans {got_last} != queue walk {last_sim}"
+        )
+
+    # -- CSR builders and membership helpers ---------------------------- #
+    parent = np_parent.copy()
+    parent[root] = root  # tree convention: root is its own parent
+    lists = kernels.children_lists(parent)
+    ref_lists: list[list[int]] = [[] for _ in range(n)]
+    for v in range(n):
+        if v != root and parent[v] >= 0:
+            ref_lists[int(parent[v])].append(v)
+    if lists != ref_lists:
+        out.append("kernels: children_lists differs from the python reference")
+    cindptr, cind = kernels.children_csr(parent)
+    lindptr, lind = kernels.lists_to_csr(lists)
+    if not (np.array_equal(cindptr, lindptr) and np.array_equal(cind, lind)):
+        out.append("kernels: children_csr != lists_to_csr(children_lists)")
+    rows = rng.integers(0, n, size=min(n, 5))
+    sel, counts, offs = kernels.expand_csr_rows(cindptr, rows)
+    ref_counts = np.diff(cindptr)[rows]
+    ref_vals = (
+        np.concatenate([cind[cindptr[r] : cindptr[r + 1]] for r in rows])
+        if rows.size
+        else np.empty(0, dtype=np.int64)
+    )
+    ref_offs = (
+        np.concatenate([np.arange(c) for c in ref_counts.tolist()])
+        if rows.size
+        else np.empty(0, dtype=np.int64)
+    )
+    if not (
+        np.array_equal(cind[sel], ref_vals)
+        and np.array_equal(counts, ref_counts)
+        and np.array_equal(offs, ref_offs)
+    ):
+        out.append("kernels: expand_csr_rows differs from the numpy reference")
+    table = np.unique(rng.integers(0, 2 * n, size=n))
+    values = rng.integers(0, 2 * n, size=n)
+    if not np.array_equal(kernels.in_sorted(values, table), np.isin(values, table)):
+        out.append("kernels: in_sorted differs from np.isin")
+
+    # -- upcast_spans expanded per round == upcast_rounds --------------- #
+    up = rng.integers(0, 4, size=n).astype(np.int64)
+    up[root] = 0
+    is_root = np.zeros(n, dtype=bool)
+    is_root[root] = True
+    hf, hc, hr = kernels.upcast_rounds(up, parent, is_root)
+    sn, sb, se, sr = kernels.upcast_spans(up, parent, np_dist)
+    widths = se - sb + 1
+    ef = np.repeat(sn, widths)
+    ec = np.repeat(sr, widths)
+    er = (
+        np.concatenate([np.arange(b, e + 1) for b, e in zip(sb, se)])
+        if sn.size
+        else np.empty(0, dtype=np.int64)
+    )
+    ref = np.lexsort((hf, hr))
+    got = np.lexsort((ef, er))
+    if not (
+        np.array_equal(hf[ref], ef[got])
+        and np.array_equal(hc[ref], ec[got])
+        and np.array_equal(hr[ref], er[got])
+    ):
+        out.append("kernels: upcast_spans expansion != upcast_rounds")
+
+    # -- Lemma 1 pipeline: span vs round, full outcome ------------------ #
+    if graph.m:
+        results, _ = run_parallel_bfs(graph, masks, roots=roots, backend="vectorized")
+    else:  # edgeless host: run_parallel_bfs needs arcs to stack masks over
+        from repro.primitives.bfs import run_bfs
+
+        results = [run_bfs(graph, 0, backend="vectorized")]
+    trees = {c: r for c, r in enumerate(results) if r.spans()}
+    if trees:
+        cids = sorted(trees)
+        messages: dict[int, dict[int, list[int]]] = {c: {} for c in cids}
+        for j in range(1, k + 1):
+            c = cids[int(rng.integers(len(cids)))]
+            v = int(rng.integers(n))
+            messages[c].setdefault(v, []).append(j)
+        rnd = vectorized_tree_broadcast(graph, trees, messages, step="round")
+        spn = vectorized_tree_broadcast(graph, trees, messages, step="span")
+        if rnd.rounds != spn.rounds:
+            out.append(f"step: pipeline rounds {rnd.rounds} != {spn.rounds}")
+        if rnd.max_congestion != spn.max_congestion:
+            out.append("step: pipeline congestion differs span vs round")
+        if not np.array_equal(
+            rnd.metrics.edge_messages, spn.metrics.edge_messages
+        ):
+            out.append("step: per-edge message counts differ span vs round")
+        if (rnd.metrics.total_messages, rnd.metrics.total_bits) != (
+            spn.metrics.total_messages,
+            spn.metrics.total_bits,
+        ):
+            out.append("step: message/bit totals differ span vs round")
+        if rnd.per_channel_k != spn.per_channel_k:
+            out.append("step: per-channel k differ span vs round")
+    return out
+
+
+def check_faulty_step_strategies(
+    graph: Graph, k: int, seed, parts: int = 2
+) -> list[str]:
+    """Fault engine: span-batched paths vs the per-round reference.
+
+    Runs faulty BFS and redundant broadcast once per step strategy on a
+    rate-0 plan (dead + mobile edges — the span fastpath's home turf) and
+    once on a ``drop_rate>0`` plan (where span must silently fall back to
+    the identical per-round walk), comparing the *entire* outcome: forest,
+    rounds, drops, receipts, coverage, bit totals, and the fault RNG state.
+    """
+    from repro.core.broadcast import uniform_random_placement
+    from repro.core.resilient import redundant_broadcast
+    from repro.core.tree_packing import build_packing_with_retry
+    from repro.engine.faults import faulty_bfs
+    from repro.util.errors import ValidationError
+
+    rng = ensure_rng(seed)
+    root = int(rng.integers(graph.n))
+    out = []
+    plans = [
+        random_fault_plan(graph, seed=seed + 1, rate=0.0),
+        random_fault_plan(graph, seed=seed + 2, rate=0.3),
+    ]
+    for tag, plan in zip(("rate0", "lossy"), plans):
+        runs = {}
+        for step in ("round", "span"):
+            r = faulty_bfs(
+                graph, root, plan=plan, fault_seed=seed,
+                backend="vectorized", step=step,
+            )
+            runs[step] = r
+        diff = _diff_bfs(runs["round"].result, runs["span"].result, f"step-faulty-bfs[{tag}]")
+        out.extend(diff)
+        if runs["round"].dropped != runs["span"].dropped:
+            out.append(f"step-faulty-bfs[{tag}]: dropped counts differ")
+        if runs["round"].fault_rng_state != runs["span"].fault_rng_state:
+            out.append(f"step-faulty-bfs[{tag}]: fault RNG streams diverged")
+
+    try:
+        packing, _ = build_packing_with_retry(
+            graph, parts, seed=seed, distributed=False
+        )
+    except ValidationError:
+        return out
+    placement = uniform_random_placement(graph.n, k, seed=seed)
+    redundancy = min(2, packing.size)
+    for tag, plan in zip(("rate0", "lossy"), plans):
+        reports = {}
+        for step in ("round", "span"):
+            reports[step] = redundant_broadcast(
+                graph,
+                placement,
+                packing,
+                redundancy=redundancy,
+                dead_edges=plan.dead_edges,
+                drop_rate=plan.drop_rate,
+                mobile=plan.mobile,
+                seed=seed,
+                fault_seed=seed + 1,
+                backend="vectorized",
+                collect_receipts=True,
+                step=step,
+            )
+        a, b = reports["round"], reports["span"]
+        if a.rounds != b.rounds:
+            out.append(f"step-redundant[{tag}]: rounds {a.rounds} != {b.rounds}")
+        if a.dropped_messages != b.dropped_messages:
+            out.append(f"step-redundant[{tag}]: dropped counts differ")
+        if a.per_message_coverage != b.per_message_coverage:
+            out.append(f"step-redundant[{tag}]: coverage differs")
+        if a.receipts != b.receipts:
+            out.append(f"step-redundant[{tag}]: receipt sets differ")
+        if a.fault_rng_state != b.fault_rng_state:
+            out.append(f"step-redundant[{tag}]: fault RNG streams diverged")
+        if (a.total_messages, a.total_bits) != (b.total_messages, b.total_bits):
+            out.append(f"step-redundant[{tag}]: message/bit totals differ")
+    return out
+
+
 @dataclass
 class EquivalenceReport:
     """Outcome of one randomized equivalence sweep."""
@@ -893,6 +1190,12 @@ def verify_equivalence(
                 random_fault_plan(g, seed=9000 * seed + t),
                 fault_seed=t,
                 edge_mask=masks[0] if t % 2 else None,
+            ),
+            check_step_strategies(
+                g, masks, k, seed=14_000 * seed + t, roots=[root] * parts
+            ),
+            check_faulty_step_strategies(
+                g, k, seed=15_000 * seed + t, parts=parts
             ),
             check_redundant_broadcast(
                 g,

@@ -247,11 +247,26 @@ class Graph:
         if hit is not None:
             self.masked_csr_hits += 1
             return hit
-        allowed = mask[self._adj_edge_id]
+        return self._build_masked_csr(key, mask[self._adj_edge_id])
+
+    def _build_masked_csr(
+        self, key: bytes, allowed: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Compress the adjacency to ``allowed`` arcs and cache under ``key``."""
         indices = self._indices[allowed]
-        counts = np.bincount(self.arc_sources()[allowed], minlength=self.n)
+        # Per-row survivor counts as a segment sum of the allowed flags over
+        # each adjacency block — the arcs of node v are exactly
+        # [indptr[v], indptr[v+1]), so this equals
+        # bincount(arc_sources()[allowed]) without a second 2m-element
+        # compress. reduceat quirk: an empty segment yields a[start], not 0
+        # (and a start index of len(a) is out of bounds), so clip the
+        # starts and zero the empty rows explicitly.
         indptr = np.zeros(self.n + 1, dtype=np.int64)
-        np.cumsum(counts, out=indptr[1:])
+        if allowed.size:
+            starts = np.minimum(self._indptr[:-1], allowed.size - 1)
+            counts = np.add.reduceat(allowed, starts, dtype=np.int64)
+            counts[np.diff(self._indptr) == 0] = 0
+            np.cumsum(counts, out=indptr[1:])
         while len(self._masked_csr_cache) >= _MASKED_CSR_CACHE_LIMIT:
             self._masked_csr_cache.pop(next(iter(self._masked_csr_cache)))
         # The same arrays are handed to every caller: freeze them so an
@@ -260,6 +275,55 @@ class Graph:
         indices.setflags(write=False)
         self._masked_csr_cache[key] = (indptr, indices)
         return indptr, indices
+
+    def disjoint_masked_csrs(
+        self, edge_masks: list[np.ndarray]
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """:meth:`masked_csr` for pairwise-disjoint masks, one arc pass total.
+
+        Building C channel CSRs one at a time costs C full gathers of the
+        2m-long ``mask[arc_edge_id]`` array; for the disjoint masks of a
+        decomposition one shared label gather serves every build. Cache
+        keys, cached arrays, and hit accounting are exactly those of
+        per-mask :meth:`masked_csr` calls — only the construction of cache
+        *misses* is fused. Raises if the masks overlap (the label scatter
+        cannot represent an overlap, so the Theorem 2 invariant is checked
+        rather than assumed).
+        """
+        masks: list[np.ndarray] = []
+        keys: list[bytes] = []
+        for edge_mask in edge_masks:
+            mask = np.asarray(edge_mask, dtype=bool)
+            if mask.shape != (self.m,):
+                raise ValidationError(
+                    f"edge mask shape {mask.shape} does not match m={self.m}"
+                )
+            masks.append(mask)
+            keys.append(np.packbits(mask).tobytes())
+        out: list[tuple[np.ndarray, np.ndarray] | None] = [None] * len(masks)
+        missing: list[int] = []
+        for i, key in enumerate(keys):
+            hit = self._masked_csr_cache.get(key)
+            if hit is not None:
+                self.masked_csr_hits += 1
+                out[i] = hit
+            else:
+                missing.append(i)
+        if len(missing) == 1:
+            i = missing[0]
+            out[i] = self._build_masked_csr(keys[i], masks[i][self._adj_edge_id])
+        elif missing:
+            label = np.full(self.m, -1, dtype=np.int32)
+            total = 0
+            for j, i in enumerate(missing):
+                label[masks[i]] = j
+                total += int(masks[i].sum())
+            if int((label >= 0).sum()) != total:
+                raise ValidationError("edge masks must be pairwise disjoint")
+            arc_label = label[self._adj_edge_id]
+            for j, i in enumerate(missing):
+                out[i] = self._build_masked_csr(keys[i], arc_label == j)
+        return out  # type: ignore[return-value]
 
     def edges(self) -> Iterator[tuple[int, int]]:
         """Iterate undirected edges as ``(u, v)`` with ``u < v``."""

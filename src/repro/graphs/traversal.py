@@ -53,8 +53,14 @@ def bfs_distances(graph: Graph, source: int) -> np.ndarray:
         if fresh.size == 0:
             break
         d += 1
-        dist[fresh] = d  # duplicate assignments write the same value
-        frontier = np.nonzero(dist == d)[0]
+        # Dedup by sort-and-diff: an O(n) full-array rescan per layer would
+        # dominate on deep graphs (depth · n at n = 10⁶).
+        fresh = np.sort(fresh)
+        keep = np.empty(fresh.size, dtype=bool)
+        keep[0] = True
+        np.not_equal(fresh[1:], fresh[:-1], out=keep[1:])
+        frontier = fresh[keep]
+        dist[frontier] = d
     return dist
 
 

@@ -24,8 +24,6 @@ frontier sweeps (see :mod:`repro.engine`), two orders of magnitude faster.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.congest.network import Network
@@ -40,7 +38,6 @@ _ANNOUNCE = 0  # payload kind tags (ints keep messages small)
 _CHILD = 1
 
 
-@dataclass
 class BFSResult:
     """Distributed BFS outcome for one channel.
 
@@ -51,16 +48,62 @@ class BFSResult:
         the channel's subgraph does not reach ``v``).
     dist: hop distance from the root within the channel subgraph (``-1`` if
         unreached).
-    children: per-node list of child node ids.
+    children: per-node list of child node ids. Constructing with
+        ``children=None`` defers materialization: the lists are derived
+        from ``parent`` (canonical ascending order) on first access. The
+        simulator always passes its protocol-collected lists explicitly —
+        under faults a dropped child-notice makes them a *strict subset* of
+        the parent-derived ones — while fault-free vectorized paths pass
+        ``None``, since the hot pipeline consumers never read ``children``
+        and the Python lists are pure construction overhead at n ≈ 10⁶.
     rounds: rounds consumed by the simulation that produced this result
         (shared across channels when run in parallel).
     """
 
-    root: int
-    parent: np.ndarray
-    dist: np.ndarray
-    children: list[list[int]]
-    rounds: int
+    __slots__ = ("root", "parent", "dist", "rounds", "_children")
+
+    def __init__(
+        self,
+        root: int,
+        parent: np.ndarray,
+        dist: np.ndarray,
+        children: list[list[int]] | None,
+        rounds: int,
+    ):
+        self.root = root
+        self.parent = parent
+        self.dist = dist
+        self.rounds = rounds
+        self._children = children
+
+    def __repr__(self):
+        return (
+            f"BFSResult(root={self.root}, rounds={self.rounds}, "
+            f"depth={self.depth}, n={len(self.parent)})"
+        )
+
+    @property
+    def children(self) -> list[list[int]]:
+        if self._children is None:
+            from repro.engine.kernels import children_lists
+
+            self._children = children_lists(
+                np.asarray(self.parent, dtype=np.int64)
+            )
+        return self._children
+
+    def children_as_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(indptr, flat_children)`` CSR of :attr:`children`.
+
+        Identical content either way; when the lists were never
+        materialized this skips Python entirely and builds the CSR
+        straight from ``parent``.
+        """
+        from repro.engine.kernels import children_csr, lists_to_csr
+
+        if self._children is None:
+            return children_csr(np.asarray(self.parent, dtype=np.int64))
+        return lists_to_csr(self._children)
 
     @property
     def depth(self) -> int:

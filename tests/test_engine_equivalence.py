@@ -27,6 +27,7 @@ from repro.engine.verify import (
     check_coverage_repair,
     check_cuts_pipeline,
     check_faulty_bfs,
+    check_faulty_step_strategies,
     check_leader,
     check_numbering,
     check_parallel_bfs,
@@ -34,6 +35,7 @@ from repro.engine.verify import (
     check_root_policies,
     check_spanner,
     check_sparsifier,
+    check_step_strategies,
     check_tournament,
     check_tree_broadcast,
     check_unknown_lambda_broadcast,
@@ -343,6 +345,18 @@ class TestMaskedCSRMemoization:
         assert not np.array_equal(indptr1, indptr3)
 
     def test_parallel_bfs_reuses_cached_csr(self):
+        # Single-channel runs go through the per-mask CSR cache ...
+        g = thick_cycle(6, 4)
+        masks = random_edge_masks(g, 1, seed=2)
+        run_parallel_bfs(g, masks, backend="vectorized")
+        before = g.masked_csr_hits
+        run_parallel_bfs(g, masks, backend="vectorized")
+        assert g.masked_csr_hits == before + 1
+
+    def test_batched_parallel_bfs_reuses_cached_csr(self):
+        # ... and multi-channel runs concatenate the per-channel cached
+        # CSRs into one disjoint-union sweep — a repeat run (packing
+        # retries, both-backend sweeps) hits the cache once per channel.
         g = thick_cycle(6, 4)
         masks = random_edge_masks(g, 3, seed=2)
         run_parallel_bfs(g, masks, backend="vectorized")
@@ -502,8 +516,19 @@ class TestRobustnessEquivalence:
         assert payloads["simulator"] == payloads["vectorized"]
 
 
+class TestStepStrategyEquivalence:
+    """Span-batched stepping (ISSUE 8): one deterministic anchor here; the
+    randomized property suite lives in ``tests/test_span_engine.py``."""
+
+    def test_step_checks_on_packing_host(self):
+        g = thick_cycle(8, 5)
+        masks = random_edge_masks(g, 2, seed=3)
+        assert check_step_strategies(g, masks, 20, seed=4) == []
+        assert check_faulty_step_strategies(g, 20, seed=5, parts=2) == []
+
+
 class TestHarnessSweep:
     def test_randomized_sweep_is_clean(self):
         report = verify_equivalence(trials=6, seed=11, max_n=20)
-        assert report.checks == 6 * 19
+        assert report.checks == 6 * 21
         assert report.ok, report.mismatches

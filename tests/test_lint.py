@@ -289,6 +289,56 @@ class TestBackendParity:
         )
         assert check_backend_parity([src, verify], verify, tests) == []
 
+    def test_uncovered_kernel_entry_point(self, tmp_path):
+        src, verify, tests = self._modules(
+            tmp_path,
+            """\
+            from repro.engine.verify import check_certified, check_orphan
+            from repro.algo import drifting
+            from repro.engine.kernels import tested_kernel
+            """,
+        )
+        kernels = _parse(
+            tmp_path,
+            """\
+            def covered_kernel(a):
+                return a
+
+            def tested_kernel(a):
+                return a
+
+            def orphan_kernel(a):
+                return a
+
+            def _private_kernel(a):
+                return a
+            """,
+            name="src/repro/engine/kernels.py",
+        )
+        verify2 = _parse(
+            tmp_path,
+            """\
+            from repro.algo import certified
+            from repro.engine.kernels import covered_kernel
+
+            def check_certified(graph, seed):
+                certified(graph, backend="vectorized")
+                covered_kernel(graph)
+
+            def check_orphan(graph, seed):
+                pass
+
+            def verify_equivalence(graphs):
+                for g in graphs:
+                    check_certified(g, 0)
+            """,
+            name="src/repro/engine/verify.py",
+        )
+        findings = check_backend_parity([src, verify2, kernels], verify2, tests)
+        assert [f.rule for f in findings] == ["parity-unverified-kernel"]
+        assert "orphan_kernel" in findings[0].message
+        assert findings[0].line == 7  # orphan_kernel()
+
 
 class TestSuppressions:
     def test_line_suppression_silences_named_rule(self, tmp_path):

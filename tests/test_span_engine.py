@@ -1,0 +1,195 @@
+"""Property tests for the span-batched step strategy (ISSUE 8).
+
+``step="span"`` advances the Lemma 1 queue recurrence and the rate-0
+fault engine one numpy step per *event* instead of per round. These
+tests assert it is **bit-identical** to the per-round reference —
+receipts, rounds, bits, drops, and the fault RNG stream — on randomized
+graphs and fault plans, including the ``drop_rate=1.0`` and single-node
+boundaries, and that the scipy SpMV frontier kernel matches its
+pure-numpy fallback.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import STEP_STRATEGIES, resolve_step
+from repro.engine.verify import (
+    check_faulty_step_strategies,
+    check_step_strategies,
+    random_connected_graph,
+    random_edge_masks,
+    random_fault_plan,
+)
+from repro.graphs import Graph, thick_cycle
+from repro.util.errors import ValidationError
+
+_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestStepResolution:
+    def test_explicit_strategies(self):
+        assert STEP_STRATEGIES == ("round", "span")
+        for s in STEP_STRATEGIES:
+            assert resolve_step(s) == s
+
+    def test_auto_defers_to_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STEP", raising=False)
+        assert resolve_step(None) == "span"
+        assert resolve_step("auto") == "span"
+        monkeypatch.setenv("REPRO_STEP", "round")
+        assert resolve_step(None) == "round"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_step("turbo")
+
+
+class TestSpanPipelineEquivalence:
+    """Lemma 1 upcast spans + SpMV frontiers vs the per-round reference."""
+
+    @_SETTINGS
+    @given(
+        n=st.integers(2, 18),
+        extra=st.integers(0, 24),
+        seed=st.integers(0, 10_000),
+        parts=st.integers(1, 3),
+        k=st.integers(0, 30),
+    )
+    def test_span_equals_round(self, n, extra, seed, parts, k):
+        g = random_connected_graph(n, extra, seed=seed)
+        masks = random_edge_masks(g, parts, seed=seed + 1)
+        assert check_step_strategies(g, masks, k, seed=seed + 2) == []
+
+    def test_single_node_graph(self):
+        g = Graph(1, [])
+        masks = [np.zeros(0, dtype=bool)]
+        assert check_step_strategies(g, masks, 3, seed=1) == []
+
+    def test_two_node_graph(self):
+        g = Graph(2, [(0, 1)])
+        masks = [np.ones(1, dtype=bool)]
+        assert check_step_strategies(g, masks, 5, seed=2) == []
+
+    def test_deep_path_many_items(self):
+        """A long path stresses the busy scan's layer shifting."""
+        g = Graph(40, [(v, v + 1) for v in range(39)])
+        masks = [np.ones(g.m, dtype=bool)]
+        assert check_step_strategies(g, masks, 60, seed=3) == []
+
+
+class TestSpanFaultEquivalence:
+    """Span fault paths (and their rate>0 fallback) vs per-round walk."""
+
+    @_SETTINGS
+    @given(
+        n=st.integers(2, 16),
+        extra=st.integers(0, 20),
+        seed=st.integers(0, 10_000),
+        k=st.integers(0, 20),
+        parts=st.integers(1, 3),
+    )
+    def test_faulty_span_equals_round(self, n, extra, seed, k, parts):
+        g = random_connected_graph(n, extra, seed=seed)
+        assert check_faulty_step_strategies(g, k, seed=seed + 1, parts=parts) == []
+
+    @_SETTINGS
+    @given(seed=st.integers(0, 10_000), k=st.integers(0, 16))
+    def test_total_loss_boundary(self, seed, k):
+        """drop_rate=1.0: every coin flipped, nothing delivered — both
+        strategies must burn the identical RNG stream."""
+        from repro.core.broadcast import uniform_random_placement
+        from repro.core.resilient import redundant_broadcast
+        from repro.core.tree_packing import build_packing_with_retry
+
+        g = thick_cycle(6, 4)
+        packing, _ = build_packing_with_retry(g, 2, seed=seed, distributed=False)
+        placement = uniform_random_placement(g.n, k, seed=seed)
+        reports = {
+            step: redundant_broadcast(
+                g,
+                placement,
+                packing,
+                redundancy=2,
+                drop_rate=1.0,
+                seed=seed,
+                fault_seed=seed + 1,
+                backend="vectorized",
+                collect_receipts=True,
+                step=step,
+            )
+            for step in STEP_STRATEGIES
+        }
+        a, b = reports["round"], reports["span"]
+        assert a.rounds == b.rounds
+        assert a.dropped_messages == b.dropped_messages
+        assert a.per_message_coverage == b.per_message_coverage
+        assert a.receipts == b.receipts
+        assert a.fault_rng_state == b.fault_rng_state
+        assert (a.total_messages, a.total_bits) == (b.total_messages, b.total_bits)
+
+    def test_single_node_faulty_bfs(self):
+        from repro.engine.faults import faulty_bfs
+
+        g = Graph(1, [])
+        plan = random_fault_plan(g, seed=1, rate=0.0)
+        runs = {
+            step: faulty_bfs(
+                g, 0, plan=plan, fault_seed=2, backend="vectorized", step=step
+            )
+            for step in STEP_STRATEGIES
+        }
+        a, b = runs["round"], runs["span"]
+        assert np.array_equal(a.result.parent, b.result.parent)
+        assert a.result.rounds == b.result.rounds
+        assert a.dropped == b.dropped
+        assert a.fault_rng_state == b.fault_rng_state
+
+
+class TestScipyFallback:
+    """The SpMV kernel is an optional accelerator, never a dependency."""
+
+    def test_frontier_sweep_matches_fallback(self, monkeypatch):
+        from repro.engine import kernels
+
+        g = random_connected_graph(30, 40, seed=5)
+        monkeypatch.setattr(kernels, "_SPMV_MIN_ARCS", 0)
+        monkeypatch.setattr(kernels, "_SPMV_LAYER_ARCS", 0)
+        monkeypatch.delenv("REPRO_NO_SCIPY", raising=False)
+        with_scipy = kernels.frontier_sweep(g.n, g._indptr, g._indices, 0)
+        monkeypatch.setenv("REPRO_NO_SCIPY", "1")
+        without = kernels.frontier_sweep(g.n, g._indptr, g._indices, 0)
+        assert np.array_equal(with_scipy[0], without[0])
+        assert np.array_equal(with_scipy[1], without[1])
+
+    def test_no_scipy_env_disables_import(self, monkeypatch):
+        from repro.engine import kernels
+
+        monkeypatch.setenv("REPRO_NO_SCIPY", "1")
+        assert kernels.scipy_sparse() is None
+
+    def test_engine_usable_without_scipy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_SCIPY", "1")
+        g = thick_cycle(6, 4)
+        masks = random_edge_masks(g, 2, seed=7)
+        assert check_step_strategies(g, masks, 12, seed=8) == []
+
+
+class TestEnvStepOverride:
+    def test_repro_step_env_steers_default(self, monkeypatch):
+        """step=None paths obey REPRO_STEP — and both settings agree."""
+        from repro.core.broadcast import textbook_broadcast, uniform_random_placement
+
+        g = thick_cycle(6, 4)
+        placement = uniform_random_placement(g.n, 10, seed=1)
+        results = {}
+        for env in ("round", "span"):
+            monkeypatch.setenv("REPRO_STEP", env)
+            res = textbook_broadcast(g, placement, backend="vectorized")
+            results[env] = (res.phases, res.max_congestion)
+        assert results["round"] == results["span"]
