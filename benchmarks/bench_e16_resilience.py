@@ -8,13 +8,16 @@ receipts, drops, rounds, and fault RNG stream — at four orders of magnitude
 more nodes, which opens the scenario-diversity axis:
 
 * **E16a — adversary sweep at n = 10⁴**: every scenario class of
-  :mod:`repro.congest.adversary` × redundancy r ∈ {1, 2}; the
-  ``core.resilient`` coverage separation (r = 1 loses exactly the sabotaged
-  tree's k/parts messages, r = 2 recovers everything) must reproduce at
-  this scale.
+  :mod:`repro.congest.adversary` × redundancy r ∈ {1, 2}, evaluated as ONE
+  :func:`repro.core.resilient.evaluate_fault_grid` call (the PR 9 query
+  plane: numbering, tree views, and redundancy splits hoisted out of the
+  per-cell loop) and cross-checked bit-identically against the looped
+  :func:`redundant_broadcast` calls it replaces; the ``core.resilient``
+  coverage separation (r = 1 loses exactly the sabotaged tree's k/parts
+  messages, r = 2 recovers everything) must reproduce at this scale.
 * **E16b — budget sweep**: min-coverage as a function of the mobile
   adversary's per-round edge budget and redundancy — the redundancy/budget
-  trade-off surface.
+  trade-off surface, again one fault-grid call over all 9 cells.
 * **E16c — backend cross-check at n = 10⁴**: one scenario run on both
   backends; reports must be identical and the vectorized engine ≥ 20×
   faster wall-clock.
@@ -37,7 +40,9 @@ import time
 from benchmarks.conftest import run_once, write_bench_artifact
 from repro.congest import MobileAdversary
 from repro.core import (
+    FaultCell,
     build_packing_with_retry,
+    evaluate_fault_grid,
     redundant_broadcast,
     tree_edge_ids,
     uniform_random_placement,
@@ -81,18 +86,23 @@ def _assert_separation(g, packing, placement, k, parts, backend="vectorized"):
 
 
 def run_quick():
-    """CI smoke: small host, both backends, bit-identical reports."""
+    """CI smoke: one fault-grid call per backend, bit-identical reports."""
     parts, k = 3, 60
     g, packing, placement = _setup(groups=10, size=10, k=k, parts=parts)
+    dead = tree_edge_ids(packing, 0)
+    cells = [
+        FaultCell(redundancy=1, dead_edges=dead),
+        FaultCell(redundancy=2, dead_edges=dead),
+        FaultCell(redundancy=2, drop_rate=0.02, fault_seed=7),
+    ]
     out = {}
     for backend in ("simulator", "vectorized"):
         t0 = time.perf_counter()
-        r1, r2 = _assert_separation(g, packing, placement, k, parts, backend)
-        lossy = redundant_broadcast(
-            g, placement, packing, redundancy=2, drop_rate=0.02,
-            fault_seed=7, backend=backend,
-        )
-        out[backend] = (r1, r2, lossy, time.perf_counter() - t0)
+        reps = evaluate_fault_grid(g, placement, packing, cells, backend=backend)
+        out[backend] = (*reps, time.perf_counter() - t0)
+    r1, r2 = out["vectorized"][0], out["vectorized"][1]
+    assert r1.fully_delivered == k - k // parts and r1.min_coverage < 1.0
+    assert r2.fully_delivered == k and r2.min_coverage == 1.0
     for i in range(3):
         assert _report_fields(out["simulator"][i]) == _report_fields(
             out["vectorized"][i]
@@ -130,34 +140,59 @@ def run_experiment():
         "loss(0.5%)": dict(drop_rate=0.005, fault_seed=5),
     }
     ta = Table(
-        ["scenario", "r", "rounds", "dropped", "full", "min_cov", "seconds"],
-        title=f"E16a — adversary sweep (n={n}, k={k}, {parts} trees, vectorized)",
+        ["scenario", "r", "rounds", "dropped", "full", "min_cov"],
+        title=f"E16a — adversary sweep (n={n}, k={k}, {parts} trees, one grid)",
     )
+    jobs = [
+        (name, r, kwargs)
+        for name, kwargs in scenarios.items()
+        for r in (1, 2)
+    ]
+    t0 = time.perf_counter()
+    reports = evaluate_fault_grid(
+        g, placement, packing,
+        [FaultCell(redundancy=r, **kwargs) for _, r, kwargs in jobs],
+        backend="vectorized",
+    )
+    grid_secs = time.perf_counter() - t0
+    # The loop of solo calls the grid replaces: must agree bit-for-bit.
+    t0 = time.perf_counter()
+    looped = [
+        redundant_broadcast(
+            g, placement, packing, redundancy=r, backend="vectorized", **kwargs
+        )
+        for _, r, kwargs in jobs
+    ]
+    loop_secs = time.perf_counter() - t0
     rows_a = []
-    for name, kwargs in scenarios.items():
-        for r in (1, 2):
-            t0 = time.perf_counter()
-            rep = redundant_broadcast(
-                g, placement, packing, redundancy=r, backend="vectorized", **kwargs
-            )
-            secs = time.perf_counter() - t0
-            ta.add_row([
-                name, r, rep.rounds, rep.dropped_messages,
-                f"{rep.fully_delivered}/{k}", round(rep.min_coverage, 3),
-                round(secs, 2),
-            ])
-            rows_a.append({
-                "scenario": name, "redundancy": r, "rounds": rep.rounds,
-                "dropped": rep.dropped_messages,
-                "fully_delivered": rep.fully_delivered,
-                "min_coverage": round(rep.min_coverage, 4),
-                "seconds": round(secs, 3),
-            })
+    for (name, r, _), rep, solo in zip(jobs, reports, looped):
+        assert _report_fields(rep) == _report_fields(solo), (name, r)
+        assert rep.fault_rng_state == solo.fault_rng_state, (name, r)
+        ta.add_row([
+            name, r, rep.rounds, rep.dropped_messages,
+            f"{rep.fully_delivered}/{k}", round(rep.min_coverage, 3),
+        ])
+        rows_a.append({
+            "scenario": name, "redundancy": r, "rounds": rep.rounds,
+            "dropped": rep.dropped_messages,
+            "fully_delivered": rep.fully_delivered,
+            "min_coverage": round(rep.min_coverage, 4),
+        })
     ta.print()
+    print(
+        f"E16a grid: {len(jobs)} cells in {grid_secs:.2f}s "
+        f"(loop of solos {loop_secs:.2f}s — {loop_secs / grid_secs:.1f}x)"
+    )
     _assert_separation(g, packing, placement, k, parts)
     artifact["n"] = n
     artifact["k"] = k
     artifact["adversary_sweep"] = rows_a
+    artifact["adversary_sweep_grid"] = {
+        "cells": len(jobs),
+        "grid_seconds": round(grid_secs, 3),
+        "loop_seconds": round(loop_secs, 3),
+        "speedup": round(loop_secs / grid_secs, 2),
+    }
 
     # ---- E16b: budget sweep (mobile adversary) × redundancy -------------- #
     tb = Table(
@@ -165,16 +200,25 @@ def run_experiment():
         title=f"E16b — mobile budget vs redundancy (n={n}, k={k})",
     )
     pool = sorted(dead | tree_edge_ids(packing, 1))
+    budgets = (8, 64, 512)
+    grid_reports = evaluate_fault_grid(
+        g, placement, packing,
+        [
+            FaultCell(
+                redundancy=r,
+                adversary=MobileAdversary.sweeping(pool, budget=budget, rounds=6000),
+            )
+            for budget in budgets
+            for r in (1, 2, 3)
+        ],
+        backend="vectorized",
+    )
     rows_b = []
-    for budget in (8, 64, 512):
+    for i, budget in enumerate(budgets):
         row = {"budget": budget}
         covs = []
-        for r in (1, 2, 3):
-            adv = MobileAdversary.sweeping(pool, budget=budget, rounds=6000)
-            rep = redundant_broadcast(
-                g, placement, packing, redundancy=r, adversary=adv,
-                backend="vectorized",
-            )
+        for j, r in enumerate((1, 2, 3)):
+            rep = grid_reports[3 * i + j]
             covs.append(round(rep.min_coverage, 4))
             row[f"r{r}"] = covs[-1]
         tb.add_row([budget] + covs)

@@ -18,6 +18,13 @@ graceful degradation buys back):
   full leader-degree budget the root is severed outright — then no repair
   can help, which E17a's shared-r1 row already records.)
 
+Since PR 9 the tournament evaluates each defense's attack column as one
+:func:`repro.core.resilient.evaluate_fault_grid` call (the multi-query
+plane: message numbering, tree views, and redundancy splits hoisted out of
+the per-cell loop), so the grids below are a handful of numpy passes rather
+than |attacks| × |defenses| cold starts — with every cell still
+bit-identical to the solo ``redundant_broadcast`` it replaces.
+
 Scores (min/mean coverage, certified rounds and bits, repair cost) and wall
 clocks are merged into ``BENCH_E13.json``; the recorded ``attacks`` entries
 are the exact `to_json` serializations of the adversaries run, so every

@@ -9,7 +9,10 @@ Usage::
 Walks both artifacts, collects every numeric leaf whose key ends in
 ``seconds`` (the wall clocks E6/E8/E13/E16/E17 record), and fails (exit 1)
 when the current value exceeds ``threshold ×`` the previous one for any
-pipeline measured in both files. Timings under ``--min-seconds`` in the old
+pipeline measured in both files. Leaves whose key ends in ``qps``
+(queries/sec — the E18 batched-throughput floor) gate in the opposite
+direction: the build fails when the current throughput drops below
+``old / threshold``. Timings under ``--min-seconds`` in the old
 artifact are skipped — at the sub-50 ms scale a 2× "regression" is scheduler
 noise, not a pipeline change. Metrics present in only one artifact are
 one-sided: sections the previous PR didn't measure are "new", sections this
@@ -30,7 +33,7 @@ import sys
 from pathlib import Path
 
 
-_IDENTITY_KEYS = ("scenario", "budget", "n", "k", "lam", "redundancy")
+_IDENTITY_KEYS = ("scenario", "budget", "batch", "n", "k", "lam", "redundancy")
 
 
 def _entry_label(value, index: int) -> str:
@@ -48,20 +51,31 @@ def _entry_label(value, index: int) -> str:
     return f"[{index}]"
 
 
-def walk_seconds(node, prefix: str = "") -> dict[str, float]:
-    """Flatten ``{path: value}`` for every numeric leaf keyed ``*seconds``."""
+def _walk_suffix(node, suffix: str, prefix: str = "") -> dict[str, float]:
     out: dict[str, float] = {}
     if isinstance(node, dict):
         for key, value in node.items():
             path = f"{prefix}.{key}" if prefix else str(key)
-            if isinstance(value, (int, float)) and str(key).endswith("seconds"):
+            if isinstance(value, (int, float)) and str(key).endswith(suffix):
                 out[path] = float(value)
             else:
-                out.update(walk_seconds(value, path))
+                out.update(_walk_suffix(value, suffix, path))
     elif isinstance(node, list):
         for i, value in enumerate(node):
-            out.update(walk_seconds(value, f"{prefix}{_entry_label(value, i)}"))
+            out.update(
+                _walk_suffix(value, suffix, f"{prefix}{_entry_label(value, i)}")
+            )
     return out
+
+
+def walk_seconds(node, prefix: str = "") -> dict[str, float]:
+    """Flatten ``{path: value}`` for every numeric leaf keyed ``*seconds``."""
+    return _walk_suffix(node, "seconds", prefix)
+
+
+def walk_qps(node, prefix: str = "") -> dict[str, float]:
+    """Flatten ``{path: value}`` for every numeric leaf keyed ``*qps``."""
+    return _walk_suffix(node, "qps", prefix)
 
 
 def compare(
@@ -89,6 +103,23 @@ def compare(
             )
     for path in sorted(set(new_secs) - set(old_secs)):
         notes.append(f"new: {path} = {new_secs[path]:.3f}s")
+    # Throughput floor: *qps leaves gate downward — batching machinery that
+    # silently degrades to per-query speed is exactly what this catches.
+    old_qps = walk_qps(old)
+    new_qps = walk_qps(new)
+    for path, before in sorted(old_qps.items()):
+        after = new_qps.get(path)
+        if after is None:
+            notes.append(f"retired: {path} (was {before:.1f} q/s)")
+            continue
+        if after * threshold < before:
+            regressions.append(
+                f"{path}: {before:.1f} q/s -> {after:.1f} q/s "
+                f"({before / max(after, 1e-9):.1f}x slower > "
+                f"{threshold:.1f}x gate)"
+            )
+    for path in sorted(set(new_qps) - set(old_qps)):
+        notes.append(f"new: {path} = {new_qps[path]:.1f} q/s")
     return regressions, notes
 
 
@@ -130,7 +161,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  FAIL  {reg}")
         return 1
     print(
-        f"compare_bench: ok — {len(walk_seconds(new))} timings, none beyond "
+        f"compare_bench: ok — {len(walk_seconds(new))} timings and "
+        f"{len(walk_qps(new))} throughputs, none beyond "
         f"{args.threshold:.1f}x of the previous artifact"
     )
     return 0

@@ -261,7 +261,7 @@ def run_tournament(
     bit-identical across backends — no wall clocks inside.
     """
     from repro.core.broadcast import uniform_random_placement
-    from repro.core.resilient import repair_coverage
+    from repro.core.resilient import FaultCell, evaluate_fault_grid, repair_coverage
     from repro.core.tree_packing import build_packing_with_retry
 
     adversaries = list(adversaries if adversaries is not None else DEFAULT_ADVERSARIES)
@@ -291,42 +291,66 @@ def run_tournament(
         n=graph.n, k=k, parts=parts, budget=budget, backend=backend,
         adversaries=adversaries, defenses=defenses,
     )
+    jobs = []
     for name in adversaries:
         _doc, factory = SCENARIOS[name]
         for d in defenses:
             policy, r = parsed[d]
-            packing = packings[policy]
-            adv = factory(ctx, packing)
+            adv = factory(ctx, packings[policy])
             if name not in result.attacks:
                 result.attacks[name] = adv.to_json()
-            out = repair_coverage(
-                graph,
-                placement,
-                packing,
-                redundancy=r,
-                adversary=adv,
-                seed=seed,
-                backend=backend,
-                max_reroots=max_reroots,
-            )
-            rep = out.initial
-            covs = list(rep.per_message_coverage.values())
-            result.cells.append(TournamentCell(
-                adversary=name,
-                defense=d,
-                budget=budget,
-                min_coverage=rep.min_coverage,
-                mean_coverage=sum(covs) / len(covs) if covs else 1.0,
-                fully_delivered=rep.fully_delivered,
-                k=rep.k,
-                rounds=rep.rounds,
-                dropped=rep.dropped_messages,
-                total_messages=rep.total_messages,
-                total_bits=rep.total_bits,
-                repaired_min_coverage=out.final.min_coverage,
-                repair_rounds=out.repair_rounds,
-                repair_attempts=out.attempts,
-                rerooted=len(out.rerooted),
-                rebuilt=out.rebuilt,
-            ))
+            jobs.append((name, d, policy, r, adv))
+
+    # Initial (pre-repair) reports: one evaluate_fault_grid call per packing,
+    # so every cell sharing a root policy also shares the broadcast prologue
+    # (numbering, tree views, channel splits) — bit-identical to the solo
+    # redundant_broadcast each repair_coverage call would otherwise run.
+    by_policy: dict[str, list[int]] = {}
+    for i, (_name, _d, policy, _r, _adv) in enumerate(jobs):
+        by_policy.setdefault(policy, []).append(i)
+    initial_reports = [None] * len(jobs)
+    for policy, idxs in by_policy.items():
+        grid = evaluate_fault_grid(
+            graph,
+            placement,
+            packings[policy],
+            [FaultCell(redundancy=jobs[i][3], adversary=jobs[i][4]) for i in idxs],
+            seed=seed,
+            backend=backend,
+        )
+        for i, rep in zip(idxs, grid):
+            initial_reports[i] = rep
+
+    for (name, d, policy, r, adv), rep0 in zip(jobs, initial_reports):
+        out = repair_coverage(
+            graph,
+            placement,
+            packings[policy],
+            redundancy=r,
+            adversary=adv,
+            seed=seed,
+            backend=backend,
+            max_reroots=max_reroots,
+            initial_report=rep0,
+        )
+        rep = out.initial
+        covs = list(rep.per_message_coverage.values())
+        result.cells.append(TournamentCell(
+            adversary=name,
+            defense=d,
+            budget=budget,
+            min_coverage=rep.min_coverage,
+            mean_coverage=sum(covs) / len(covs) if covs else 1.0,
+            fully_delivered=rep.fully_delivered,
+            k=rep.k,
+            rounds=rep.rounds,
+            dropped=rep.dropped_messages,
+            total_messages=rep.total_messages,
+            total_bits=rep.total_bits,
+            repaired_min_coverage=out.final.min_coverage,
+            repair_rounds=out.repair_rounds,
+            repair_attempts=out.attempts,
+            rerooted=len(out.rerooted),
+            rebuilt=out.rebuilt,
+        ))
     return result

@@ -43,7 +43,9 @@ from repro.core.broadcast import (
     single_source_placement,
     cut_adversarial_placement,
     textbook_broadcast,
+    textbook_broadcast_batch,
     fast_broadcast,
+    fast_broadcast_batch,
     combined_broadcast,
 )
 from repro.core.lambda_search import (
@@ -59,7 +61,9 @@ from repro.core.congested_clique import (
 )
 from repro.core.resilient import (
     DeliveryReport,
+    FaultCell,
     RepairOutcome,
+    evaluate_fault_grid,
     redundant_broadcast,
     repair_coverage,
     tree_edge_ids,
@@ -95,7 +99,9 @@ __all__ = [
     "single_source_placement",
     "cut_adversarial_placement",
     "textbook_broadcast",
+    "textbook_broadcast_batch",
     "fast_broadcast",
+    "fast_broadcast_batch",
     "combined_broadcast",
     "LambdaSearchOutcome",
     "find_packing_unknown_lambda",
@@ -105,7 +111,9 @@ __all__ = [
     "simulate_bcc",
     "SumAndLeaderBCC",
     "DeliveryReport",
+    "FaultCell",
     "RepairOutcome",
+    "evaluate_fault_grid",
     "redundant_broadcast",
     "repair_coverage",
     "tree_edge_ids",

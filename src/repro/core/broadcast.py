@@ -47,7 +47,9 @@ __all__ = [
     "single_source_placement",
     "cut_adversarial_placement",
     "textbook_broadcast",
+    "textbook_broadcast_batch",
     "fast_broadcast",
+    "fast_broadcast_batch",
     "combined_broadcast",
 ]
 
@@ -117,19 +119,26 @@ class BroadcastResult:
         )
 
 
-def _number_messages(
-    graph: Graph, placement: dict[int, int], backend: str = "simulator"
-) -> tuple[int, BFSResult, np.ndarray, dict[str, int]]:
+def _number_messages_batch(
+    graph: Graph, placements: list[dict[int, int]], backend: str = "simulator"
+) -> list[tuple[int, BFSResult, np.ndarray, dict[str, int]]]:
     """Shared prologue: leader election, global BFS, Lemma 3 numbering.
 
     Both backends produce the same leader, tree, starts, and per-phase round
     counts; the vectorized one skips the per-node state machines entirely.
+    The leader and its global BFS tree are placement-independent, so a batch
+    of placements pays them once and reruns only the numbering — each
+    element is bit-identical to its solo call (the tree object is shared
+    read-only; every placement gets its own phase ledger).
     """
-    counts = np.zeros(graph.n, dtype=np.int64)
-    for v, c in placement.items():
-        if c < 0:
-            raise ValidationError("message counts must be non-negative")
-        counts[v] = c
+    counts_list = []
+    for placement in placements:
+        counts = np.zeros(graph.n, dtype=np.int64)
+        for v, c in placement.items():
+            if c < 0:
+                raise ValidationError("message counts must be non-negative")
+            counts[v] = c
+        counts_list.append(counts)
     if backend == "vectorized":
         from repro.engine.fastpath import (
             vectorized_elect_leader as elect,
@@ -141,9 +150,23 @@ def _number_messages(
     tree = run_bfs(graph, leader, backend=backend)
     if not tree.spans():
         raise ValidationError("graph must be connected for broadcast")
-    starts, r_num = number(graph, tree, counts)
-    phases = {"leader_election": r_leader, "global_bfs": tree.rounds, "numbering": r_num}
-    return leader, tree, starts, phases
+    out = []
+    for counts in counts_list:
+        starts, r_num = number(graph, tree, counts)
+        phases = {
+            "leader_election": r_leader,
+            "global_bfs": tree.rounds,
+            "numbering": r_num,
+        }
+        out.append((leader, tree, starts, phases))
+    return out
+
+
+def _number_messages(
+    graph: Graph, placement: dict[int, int], backend: str = "simulator"
+) -> tuple[int, BFSResult, np.ndarray, dict[str, int]]:
+    """Solo prologue — a batch of one (see :func:`_number_messages_batch`)."""
+    return _number_messages_batch(graph, [placement], backend)[0]
 
 
 def _run_pipeline(graph, trees, per_channel, verify, backend, step=None):
@@ -172,19 +195,9 @@ def _placement_ids(
     }
 
 
-def textbook_broadcast(
-    graph: Graph,
-    placement: dict[int, int],
-    verify: bool = True,
-    backend: str = "simulator",
-    step: str | None = None,
-) -> BroadcastResult:
-    """Lemma 1's O(D + k) pipeline over a single BFS tree."""
-    from repro.engine import validate_backend
-
-    validate_backend(backend)
+def _textbook_tail(graph, placement, tree, starts, phases, verify, backend, step):
+    """Per-placement remainder of the textbook algorithm (post-numbering)."""
     k = sum(placement.values())
-    leader, tree, starts, phases = _number_messages(graph, placement, backend)
     if backend == "vectorized":
         # Same contiguous ranges as _placement_ids, as numpy arrays: the
         # engine consumes them array-natively (no per-id Python objects).
@@ -207,6 +220,45 @@ def textbook_broadcast(
         packing_max_depth=tree.depth,
         delivered=True,
     )
+
+
+def textbook_broadcast(
+    graph: Graph,
+    placement: dict[int, int],
+    verify: bool = True,
+    backend: str = "simulator",
+    step: str | None = None,
+) -> BroadcastResult:
+    """Lemma 1's O(D + k) pipeline over a single BFS tree."""
+    return textbook_broadcast_batch(
+        graph, [placement], verify=verify, backend=backend, step=step
+    )[0]
+
+
+def textbook_broadcast_batch(
+    graph: Graph,
+    placements,
+    verify: bool = True,
+    backend: str = "simulator",
+    step: str | None = None,
+) -> list[BroadcastResult]:
+    """Many textbook broadcasts with the shared prologue paid once.
+
+    Element ``i`` is bit-identical to
+    ``textbook_broadcast(graph, placements[i], ...)`` — same phase ledger,
+    congestion, and delivery flags. Leader election and the global BFS are
+    placement-independent and run once; numbering and the pipeline run per
+    placement.
+    """
+    from repro.engine import validate_backend
+
+    validate_backend(backend)
+    placements = list(placements)
+    numbered = _number_messages_batch(graph, placements, backend)
+    return [
+        _textbook_tail(graph, placement, tree, starts, phases, verify, backend, step)
+        for placement, (_leader, tree, starts, phases) in zip(placements, numbered)
+    ]
 
 
 def fast_broadcast(
@@ -278,6 +330,12 @@ def fast_broadcast(
         phases["tree_packing"] = packing.construction_rounds
     else:
         phases["tree_packing"] = 0
+    return _fast_tail(graph, placement, starts, phases, packing, verify, backend, step)
+
+
+def _fast_tail(graph, placement, starts, phases, packing, verify, backend, step):
+    """Per-placement remainder of Theorem 1 (channel split + pipeline)."""
+    k = sum(placement.values())
     parts = packing.size
 
     # Assign message id j (1-based) to class (j-1) // K, K = ceil(k / parts).
@@ -325,6 +383,71 @@ def fast_broadcast(
         packing_max_depth=packing.max_depth,
         delivered=True,
     )
+
+
+def fast_broadcast_batch(
+    graph: Graph,
+    placements,
+    lam: int | None = None,
+    C: float = 2.0,
+    seeds=0,
+    verify: bool = True,
+    distributed_packing: bool = True,
+    backend: str = "simulator",
+    step: str | None = None,
+) -> list[BroadcastResult]:
+    """Many Theorem 1 broadcasts with all placement-independent work shared.
+
+    Element ``i`` is bit-identical to ``fast_broadcast(graph,
+    placements[i], seed=seeds[i], ...)``: edge connectivity, the leader and
+    its global tree, and the tree packing of each distinct seed are computed
+    once (the packing via :func:`build_packing_with_retry` candidate
+    batching under the vectorized backend — itself bit-identical to the
+    sequential retry walk); numbering, the channel split, and the pipeline
+    run per placement. ``seeds`` is one int for all placements or a
+    per-placement list.
+    """
+    from repro.engine import validate_backend
+    from repro.graphs.connectivity import edge_connectivity
+
+    validate_backend(backend)
+    placements = list(placements)
+    if isinstance(seeds, int):
+        seed_list = [seeds] * len(placements)
+    else:
+        seed_list = [int(s) for s in seeds]
+        if len(seed_list) != len(placements):
+            raise ValidationError(
+                f"seeds length {len(seed_list)} != placements length {len(placements)}"
+            )
+    if lam is None:
+        lam = edge_connectivity(graph)
+    numbered = _number_messages_batch(graph, placements, backend)
+    parts = num_parts(lam, graph.n, C)
+    packings: dict[int, TreePacking] = {}
+    results = []
+    for placement, seed, (leader, _gtree, starts, phases) in zip(
+        placements, seed_list, numbered
+    ):
+        packing = packings.get(seed)
+        if packing is None:
+            from repro.core.tree_packing import build_packing_with_retry
+
+            packing, _attempts = build_packing_with_retry(
+                graph,
+                parts,
+                seed,
+                root=leader,
+                distributed=distributed_packing,
+                backend=backend,
+                batch=4 if backend == "vectorized" else 1,
+            )
+            packings[seed] = packing
+        phases["tree_packing"] = packing.construction_rounds
+        results.append(
+            _fast_tail(graph, placement, starts, phases, packing, verify, backend, step)
+        )
+    return results
 
 
 def _bfs_view(packing: TreePacking, i: int) -> BFSResult:

@@ -38,7 +38,9 @@ from repro.util.errors import ProtocolError, ValidationError
 
 __all__ = [
     "DeliveryReport",
+    "FaultCell",
     "RepairOutcome",
+    "evaluate_fault_grid",
     "redundant_broadcast",
     "repair_coverage",
     "tree_edge_ids",
@@ -301,6 +303,137 @@ def redundant_broadcast(
 
 
 # --------------------------------------------------------------------------- #
+# Grid evaluation — many (scenario × defense × seed) cells, one shared setup
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class FaultCell:
+    """One cell of a resilience grid: scenario × defense × coin seed.
+
+    ``fault_seed=None`` inherits the grid's base ``seed``, exactly like
+    :func:`redundant_broadcast`'s default.
+    """
+
+    redundancy: int = 1
+    dead_edges: Iterable[int] = ()
+    drop_rate: float = 0.0
+    mobile: Mapping[int, Iterable[int]] | None = None
+    adversary: AdversarySchedule | None = None
+    fault_seed: int | None = None
+
+
+def evaluate_fault_grid(
+    graph: Graph,
+    placement: dict[int, int],
+    packing: TreePacking,
+    cells: Iterable[FaultCell],
+    seed: int = 0,
+    backend: str = "vectorized",
+    collect_receipts: bool = False,
+    step: str | None = None,
+) -> list[DeliveryReport]:
+    """Evaluate a whole resilience grid with the broadcast setup paid once.
+
+    Report ``i`` is bit-identical to the corresponding solo
+    :func:`redundant_broadcast` call with ``cells[i]``'s scenario, defense,
+    and fault seed — same coverage, drops, rounds, send totals, and fault
+    RNG state. The per-cell work a naive loop repeats — leader election and
+    message numbering, placement-id assignment, the per-tree BFS views, and
+    the per-redundancy message-to-tree split — is hoisted and shared across
+    every cell that agrees on it; only the faulty broadcast engine itself
+    runs per cell. The simulator backend has no shareable setup (the
+    network is rebuilt per run by construction) and loops the solo calls.
+    """
+    from repro.engine import validate_backend
+
+    cells = list(cells)
+    if validate_backend(backend) != "vectorized":
+        return [
+            redundant_broadcast(
+                graph,
+                placement,
+                packing,
+                redundancy=c.redundancy,
+                dead_edges=c.dead_edges,
+                drop_rate=c.drop_rate,
+                mobile=c.mobile,
+                seed=seed,
+                fault_seed=c.fault_seed,
+                adversary=c.adversary,
+                backend=backend,
+                collect_receipts=collect_receipts,
+                step=step,
+            )
+            for c in cells
+        ]
+
+    import math
+
+    import numpy as np
+
+    from repro.engine.faults import vectorized_faulty_broadcast
+
+    parts = packing.size
+    k = sum(placement.values())
+    leader, _gtree, starts, _phases = _number_messages(graph, placement, backend)
+    ids = _placement_ids(placement, starts)
+    trees = {c: _bfs_view(packing, c) for c in range(parts)}
+    all_ids = [j for mids in ids.values() for j in mids]
+    K = max(1, math.ceil(k / parts))
+
+    splits: dict[int, dict[int, dict[int, list[int]]]] = {}
+
+    def split(redundancy: int) -> dict[int, dict[int, list[int]]]:
+        pc = splits.get(redundancy)
+        if pc is None:
+            pc = {c: {} for c in range(parts)}
+            for v, mids in ids.items():
+                for j in mids:
+                    home = min((j - 1) // K, parts - 1)
+                    for i in range(redundancy):
+                        pc[(home + i) % parts].setdefault(v, []).append(j)
+            splits[redundancy] = pc
+        return pc
+
+    reports: list[DeliveryReport] = []
+    for cell in cells:
+        redundancy = int(cell.redundancy)
+        if not (1 <= redundancy <= parts):
+            raise ValidationError("redundancy must be in [1, #trees]")
+        plan = FaultPlan(
+            dead_edges=frozenset(int(e) for e in (cell.dead_edges or ())),
+            drop_rate=float(cell.drop_rate),
+            mobile=dict(cell.mobile or {}),
+        )
+        if cell.adversary is not None:
+            plan = plan.merged(cell.adversary.compile(graph, packing=packing))
+        fault_seed = seed if cell.fault_seed is None else cell.fault_seed
+        out = vectorized_faulty_broadcast(
+            graph, trees, split(redundancy), plan=plan, fault_seed=fault_seed, step=step
+        )
+        rows = np.searchsorted(out.mids, np.asarray(all_ids, dtype=np.int64))
+        coverage = {
+            j: int(out.receipt_counts[r]) / graph.n
+            for j, r in zip(all_ids, rows.tolist())
+        }
+        reports.append(
+            DeliveryReport(
+                k=k,
+                redundancy=redundancy,
+                rounds=out.rounds,
+                dropped_messages=out.dropped,
+                per_message_coverage=coverage,
+                backend=backend,
+                receipts=out.receipts() if collect_receipts else None,
+                fault_rng_state=out.fault_rng_state,
+                total_messages=out.total_messages,
+                total_bits=out.total_bits,
+            )
+        )
+    return reports
+
+
+# --------------------------------------------------------------------------- #
 # Coverage repair — graceful degradation after a structural attack
 # --------------------------------------------------------------------------- #
 
@@ -346,6 +479,7 @@ def repair_coverage(
     adversary: AdversarySchedule | None = None,
     backend: str = "simulator",
     max_reroots: int = 4,
+    initial_report: DeliveryReport | None = None,
 ) -> RepairOutcome:
     """Detect dead color classes and rebuild only what broke (Section 1.2).
 
@@ -371,6 +505,12 @@ def repair_coverage(
     bit-identical report, the re-root BFS and rebuild are the certified
     packing primitives, and the rerun is :func:`redundant_broadcast` again —
     so the full :class:`RepairOutcome` matches across backends bit for bit.
+
+    ``initial_report`` lets a caller that already evaluated this exact
+    scenario (e.g. one :func:`evaluate_fault_grid` cell) hand the report in
+    instead of paying the initial broadcast again — it must come from the
+    same (graph, placement, packing, scenario, seeds, backend) tuple, which
+    the grid guarantees bit-identically.
     """
     import numpy as np
 
@@ -404,7 +544,7 @@ def repair_coverage(
             backend=backend,
         )
 
-    initial = run(packing)
+    initial = initial_report if initial_report is not None else run(packing)
     done = RepairOutcome(
         initial=initial, final=initial, broken_channels=[], rerooted={},
         rebuilt=False, repair_rounds=0, attempts=0, packing=packing,

@@ -54,6 +54,7 @@ __all__ = [
     "FaultyBFSOutcome",
     "FaultyBroadcastOutcome",
     "faulty_bfs",
+    "faulty_bfs_grid",
     "vectorized_faulty_bfs",
     "vectorized_faulty_broadcast",
 ]
@@ -185,6 +186,51 @@ def _span_faulty_bfs(
     )
 
 
+def _span_faulty_bfs_total_loss(
+    graph: Graph,
+    root: int,
+    stream: FaultStream,
+    indptr: np.ndarray,
+) -> FaultyBFSOutcome:
+    """Closed-form faulty BFS under pure uniform total loss (rate 1.0).
+
+    ``random() < 1.0`` always holds, so the root's round-1 announce batch
+    is drawn and dropped wholesale and the flood dies immediately: the
+    forest is the bare root, rounds is 1 when the root has any usable port
+    (else 0), and exactly one coin per masked root port is consumed — one
+    batched draw leaves the PCG64 stream where the per-round replay does.
+
+    Only the *total*-loss boundary admits this pre-drawn plane: for rates
+    in (0, 1) the number of coins drawn each round depends on which
+    earlier sends survived (drops change who adopts, hence who sends), so
+    any fixed-shape pre-draw would desynchronize the fault RNG stream the
+    equivalence contract certifies. Those plans stay on the round path.
+    Dead edges and mobile schedules also stay there: they shrink the coin
+    batch per round, which this closed form does not model.
+    """
+    n = graph.n
+    parent = np.full(n, -1, dtype=np.int64)
+    dist = np.full(n, -1, dtype=np.int64)
+    parent[root] = root
+    dist[root] = 0
+    deg = int(indptr[root + 1] - indptr[root])
+    rounds = 0
+    if deg:
+        stream.rng.random(deg)  # the round-1 coin batch — every send drops
+        stream.dropped += deg
+        rounds = 1
+    result = BFSResult(
+        root=root,
+        parent=parent,
+        dist=dist,
+        children=None,  # nothing delivered: parent-derived lists are empty
+        rounds=rounds,
+    )
+    return FaultyBFSOutcome(
+        result=result, dropped=stream.dropped, fault_rng_state=stream.rng_state
+    )
+
+
 def vectorized_faulty_bfs(
     graph: Graph,
     root: int,
@@ -217,12 +263,13 @@ def vectorized_faulty_bfs(
     indptr, indices = graph.masked_csr(
         None if edge_mask is None else np.asarray(edge_mask, dtype=bool)
     )
-    if (
-        resolve_step(step) == "span"
-        and stream.rate == 0.0
-        and not stream.mobile
-    ):
-        return _span_faulty_bfs(graph, root, stream, edge_mask, indptr, indices)
+    if resolve_step(step) == "span" and not stream.mobile:
+        if stream.rate == 0.0:
+            return _span_faulty_bfs(
+                graph, root, stream, edge_mask, indptr, indices
+            )
+        if stream.rate == 1.0 and not stream.dead.any():
+            return _span_faulty_bfs_total_loss(graph, root, stream, indptr)
     degs = np.diff(indptr)
     arc_eids = (
         graph.edge_ids_for_pairs(np.repeat(np.arange(n), degs), indices)
@@ -372,6 +419,110 @@ def faulty_bfs(
         dropped=sim.dropped,
         fault_rng_state=sim._fault_rng.bit_generator.state,
     )
+
+
+def faulty_bfs_grid(
+    graph: Graph,
+    roots,
+    plan: FaultPlan | None = None,
+    fault_seeds=None,
+    edge_mask: np.ndarray | None = None,
+    backend: str = "vectorized",
+    step: str | None = None,
+) -> list[FaultyBFSOutcome]:
+    """A whole (root × fault-seed) grid of faulty floods in one plane sweep.
+
+    Element ``i`` is bit-identical to
+    ``faulty_bfs(graph, roots[i], plan, fault_seeds[i], ...)`` — same
+    forest, rounds, drop count, and fault RNG state. When the plan draws
+    no coins and has no mobile set (the static dead-edge regime the span
+    path already collapses per query), the whole grid reduces to one
+    :func:`repro.engine.plane.plane_sweep` over the distinct roots on the
+    dead-subtracted CSR: the coin RNG is untouched, so outcomes across
+    fault seeds differ only in their (pristine) recorded RNG state, and
+    queries sharing a root share read-only forest rows. Every other plan —
+    positive rates, mobile schedules, ``step="round"``, the simulator
+    backend — falls back to the per-query loop, which is the contract's
+    definition anyway.
+
+    ``fault_seeds`` defaults to all zeros; when given it must match
+    ``roots`` in length.
+    """
+    from repro.engine import validate_backend
+
+    plan = plan if plan is not None else FaultPlan()
+    root_list = [int(r) for r in roots]
+    seeds = list(fault_seeds) if fault_seeds is not None else [0] * len(root_list)
+    if len(seeds) != len(root_list):
+        raise ValidationError(
+            f"fault_seeds length {len(seeds)} != roots length {len(root_list)}"
+        )
+    if (
+        validate_backend(backend) != "vectorized"
+        or resolve_step(step) != "span"
+        or plan.mobile
+        or plan.drop_rate != 0.0
+        or not root_list
+    ):
+        return [
+            faulty_bfs(
+                graph, r, plan=plan, fault_seed=s, edge_mask=edge_mask,
+                backend=backend, step=step,
+            )
+            for r, s in zip(root_list, seeds)
+        ]
+
+    from repro.engine.plane import plane_sweep
+
+    plan.validate_for(graph.m)
+    for r in root_list:
+        if not (0 <= r < graph.n):
+            raise ValidationError(f"root {r} out of range")
+    base = None if edge_mask is None else np.asarray(edge_mask, dtype=bool)
+    indptr, indices = graph.masked_csr(base)
+    n = graph.n
+    de = np.empty(0, dtype=np.int64)
+    if plan.dead_edges:
+        dead = np.zeros(graph.m, dtype=bool)
+        dead[
+            np.fromiter(plan.dead_edges, dtype=np.int64, count=len(plan.dead_edges))
+        ] = True
+        full = np.ones(graph.m, dtype=bool) if base is None else base
+        pindptr, pindices = graph.masked_csr(full & ~dead)
+        de = np.nonzero(dead)[0]
+        if base is not None:
+            de = de[base[de]]
+    else:
+        pindptr, pindices = indptr, indices
+    uniq, inverse = np.unique(np.asarray(root_list, dtype=np.int64), return_inverse=True)
+    parent, dist, _ = plane_sweep(n, pindptr, pindices, uniq)
+    # The clock runs off the *masked* graph, exactly like _span_faulty_bfs:
+    # the root's round-1 batch exists as soon as any usable port does.
+    rounds_u = np.where(indptr[uniq + 1] > indptr[uniq], dist.max(axis=1) + 1, 0)
+    if de.size:
+        dropped_u = (dist[:, graph.edge_u[de]] >= 0).sum(axis=1) + (
+            dist[:, graph.edge_v[de]] >= 0
+        ).sum(axis=1)
+    else:
+        dropped_u = np.zeros(uniq.size, dtype=np.int64)
+    out: list[FaultyBFSOutcome] = []
+    for i, (r, s) in enumerate(zip(root_list, seeds)):
+        q = int(inverse[i])
+        res = BFSResult(
+            root=r,
+            parent=parent[q],
+            dist=dist[q],
+            children=None,  # rate-0 plans drop no child-notices
+            rounds=int(rounds_u[q]),
+        )
+        out.append(
+            FaultyBFSOutcome(
+                result=res,
+                dropped=int(dropped_u[q]),
+                fault_rng_state=ensure_rng(s).bit_generator.state,
+            )
+        )
+    return out
 
 
 # --------------------------------------------------------------------------- #
@@ -702,6 +853,78 @@ def _span_faulty_broadcast(
     )
 
 
+def _span_faulty_broadcast_total_loss(
+    chans: list[_Channel],
+    stream: FaultStream,
+    mid_index: np.ndarray,
+    recv: np.ndarray,
+    cid_bits: np.ndarray,
+    n: int,
+) -> FaultyBroadcastOutcome:
+    """Closed-form faulty broadcast under pure uniform total loss (rate 1.0).
+
+    Nothing ever crosses an edge, so the queue dynamics collapse: a non-root
+    node with ``L`` own items pumps its up-queue head in rounds ``1..L``
+    (each crossing dropped, never re-sent, never received), and the root
+    pops one own item per round, emitting it to each tree child in rounds
+    ``1..K`` — a childless root (single-node graph) still drains for
+    ``K - 1`` extra busy rounds with no sends, exactly like the per-round
+    replay's wake condition. Receipts stay at the roots' pre-marked own
+    items, every crossing is both a counted send and a counted drop, and
+    one batched coin draw per channel consumes the same PCG64 stream the
+    per-round batches would (``random(a)`` then ``random(b)`` equals
+    ``random(a + b)``).
+
+    Like the BFS twin, only the total-loss boundary admits this: rates in
+    (0, 1) make each round's coin count depend on earlier survivals, and
+    dead edges / mobile schedules shrink the per-round coin batch. Those
+    plans keep the round path (or the rate-0 span path).
+    """
+    from repro.util.bits import bits_for_int_array
+
+    total_messages = 0
+    total_bits = 0
+    rounds = 0
+    for ci, st in enumerate(chans):
+        cb = int(cid_bits[ci])
+        up_mids = [m for q in st.up_q.values() for m in q]
+        if st.up_q:
+            rounds = max(rounds, max(len(q) for q in st.up_q.values()))
+        crossings = len(up_mids)
+        bits = (
+            int((2 + cb + bits_for_int_array(np.asarray(up_mids, dtype=np.int64))).sum())
+            if up_mids
+            else 0
+        )
+        K = len(st.root_dq)
+        if K:
+            nchild_root = int(st.cindptr[st.root + 1] - st.cindptr[st.root])
+            if nchild_root:
+                crossings += K * nchild_root
+                bits += nchild_root * int(
+                    (2 + cb + bits_for_int_array(np.asarray(st.root_dq, dtype=np.int64))).sum()
+                )
+                rounds = max(rounds, K)
+            else:
+                rounds = max(rounds, K - 1)
+        total_messages += crossings
+        total_bits += bits
+        if crossings:
+            stream.rng.random(crossings)
+            stream.dropped += crossings
+    return FaultyBroadcastOutcome(
+        rounds=rounds,
+        dropped=stream.dropped,
+        mids=mid_index,
+        receipt_counts=_popcount_rows(recv),
+        receipt_bits=recv,
+        n=n,
+        fault_rng_state=stream.rng_state,
+        total_messages=total_messages,
+        total_bits=total_bits,
+    )
+
+
 def vectorized_faulty_broadcast(
     graph: Graph,
     trees: dict[int, BFSResult],
@@ -732,9 +955,11 @@ def vectorized_faulty_broadcast(
     :func:`repro.engine.kernels.resolve_step`) runs the downcast — the
     bulk of the work — closed-form via :func:`_span_faulty_broadcast`
     whenever the plan draws no coins (``drop_rate == 0``; dead edges and
-    the mobile adversary are fine) and the trees are BFS-layered;
-    otherwise, and under ``step="round"``, the per-round replay below
-    runs. Both strategies are bit-identical where both apply.
+    the mobile adversary are fine) and the trees are BFS-layered, and via
+    :func:`_span_faulty_broadcast_total_loss` under pure uniform total
+    loss (``drop_rate == 1.0``, no dead edges, no mobile set); otherwise,
+    and under ``step="round"``, the per-round replay below runs. All
+    strategies are bit-identical where they apply.
     """
     plan = plan if plan is not None else FaultPlan()
     n = graph.n
@@ -789,11 +1014,18 @@ def vectorized_faulty_broadcast(
                 recv, (rows, st.root >> 3), np.uint8(1 << (st.root & 7))
             )
 
-    if resolve_step(step) == "span" and plan.drop_rate == 0.0:
-        kmax = [sum(len(ms) for ms in messages.get(cid, {}).values()) for cid in cids]
-        if _span_broadcast_viable(n, chans, kmax):
-            return _span_faulty_broadcast(
-                graph, chans, stream, plan, mid_index, mid_row, recv, cid_bits, nbytes
+    if resolve_step(step) == "span":
+        if plan.drop_rate == 0.0:
+            kmax = [
+                sum(len(ms) for ms in messages.get(cid, {}).values()) for cid in cids
+            ]
+            if _span_broadcast_viable(n, chans, kmax):
+                return _span_faulty_broadcast(
+                    graph, chans, stream, plan, mid_index, mid_row, recv, cid_bits, nbytes
+                )
+        elif plan.drop_rate == 1.0 and not plan.mobile and not stream.dead.any():
+            return _span_faulty_broadcast_total_loss(
+                chans, stream, mid_index, recv, cid_bits, n
             )
 
     def send_phase():

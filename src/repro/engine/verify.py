@@ -41,6 +41,10 @@ __all__ = [
     "check_faulty_bfs",
     "check_step_strategies",
     "check_faulty_step_strategies",
+    "check_bfs_batch",
+    "check_broadcast_batch",
+    "check_packing_candidates",
+    "check_fault_grid",
     "check_redundant_broadcast",
     "check_root_policies",
     "check_coverage_repair",
@@ -1076,14 +1080,19 @@ def check_faulty_step_strategies(
     from repro.engine.faults import faulty_bfs
     from repro.util.errors import ValidationError
 
+    from repro.congest.adversary import FaultPlan
+
     rng = ensure_rng(seed)
     root = int(rng.integers(graph.n))
     out = []
     plans = [
         random_fault_plan(graph, seed=seed + 1, rate=0.0),
         random_fault_plan(graph, seed=seed + 2, rate=0.3),
+        # Pure uniform total loss — the boundary the span path collapses
+        # closed-form (no dead/mobile: those force the round replay).
+        FaultPlan(drop_rate=1.0),
     ]
-    for tag, plan in zip(("rate0", "lossy"), plans):
+    for tag, plan in zip(("rate0", "lossy", "total-loss"), plans):
         runs = {}
         for step in ("round", "span"):
             r = faulty_bfs(
@@ -1106,7 +1115,7 @@ def check_faulty_step_strategies(
         return out
     placement = uniform_random_placement(graph.n, k, seed=seed)
     redundancy = min(2, packing.size)
-    for tag, plan in zip(("rate0", "lossy"), plans):
+    for tag, plan in zip(("rate0", "lossy", "total-loss"), plans):
         reports = {}
         for step in ("round", "span"):
             reports[step] = redundant_broadcast(
@@ -1136,6 +1145,269 @@ def check_faulty_step_strategies(
             out.append(f"step-redundant[{tag}]: fault RNG streams diverged")
         if (a.total_messages, a.total_bits) != (b.total_messages, b.total_bits):
             out.append(f"step-redundant[{tag}]: message/bit totals differ")
+    return out
+
+
+def check_bfs_batch(graph: Graph, roots, edge_mask=None) -> list[str]:
+    """run_bfs_batch == loop of run_bfs, element-wise, on both backends.
+
+    The vectorized batch rides the :class:`~repro.engine.plane.QueryPlane`
+    sweep; one pass also forces the plane's SpMV branch (gates zeroed, with
+    and without scipy) so every stepping variant of the plane is certified
+    against the solo kernels.
+    """
+    import os
+
+    from repro.engine import kernels
+    from repro.primitives.bfs import run_bfs, run_bfs_batch
+
+    out = []
+    solos = {}
+    for backend in ("simulator", "vectorized"):
+        solos[backend] = [
+            run_bfs(graph, int(r), edge_mask=edge_mask, backend=backend)
+            for r in roots
+        ]
+        batch = run_bfs_batch(graph, roots, edge_mask=edge_mask, backend=backend)
+        for i, (a, b) in enumerate(zip(solos[backend], batch)):
+            out.extend(_diff_bfs(a, b, f"bfs-batch[{backend}][{i}]"))
+    saved = (kernels._SPMV_MIN_ARCS, kernels._SPMV_LAYER_ARCS)
+    had = os.environ.get("REPRO_NO_SCIPY")
+    try:
+        kernels._SPMV_MIN_ARCS = 0
+        kernels._SPMV_LAYER_ARCS = 0
+        for noscipy in (False, True):
+            if noscipy:
+                os.environ["REPRO_NO_SCIPY"] = "1"
+            elif had is not None:
+                os.environ.pop("REPRO_NO_SCIPY", None)
+            batch = run_bfs_batch(
+                graph, roots, edge_mask=edge_mask, backend="vectorized"
+            )
+            tag = "spmv-noscipy" if noscipy else "spmv"
+            for i, (a, b) in enumerate(zip(solos["simulator"], batch)):
+                out.extend(_diff_bfs(a, b, f"bfs-batch[{tag}][{i}]"))
+    finally:
+        kernels._SPMV_MIN_ARCS, kernels._SPMV_LAYER_ARCS = saved
+        if had is None:
+            os.environ.pop("REPRO_NO_SCIPY", None)
+        else:
+            os.environ["REPRO_NO_SCIPY"] = had
+    return out
+
+
+def _diff_broadcast_result(a, b, label: str) -> list[str]:
+    out = []
+    if a.algorithm != b.algorithm:
+        out.append(f"{label}: algorithm {a.algorithm} != {b.algorithm}")
+    if (a.n, a.k, a.parts) != (b.n, b.k, b.parts):
+        out.append(f"{label}: shape (n, k, parts) differs")
+    if a.phases != b.phases:
+        out.append(f"{label}: phase ledger {a.phases} != {b.phases}")
+    if a.max_congestion != b.max_congestion:
+        out.append(f"{label}: congestion {a.max_congestion} != {b.max_congestion}")
+    if a.packing_max_depth != b.packing_max_depth:
+        out.append(f"{label}: packing depth differs")
+    if a.delivered != b.delivered:
+        out.append(f"{label}: delivered flag differs")
+    return out
+
+
+def check_broadcast_batch(graph: Graph, k: int, seed) -> list[str]:
+    """textbook/fast broadcast batches == loops of solo calls, both backends."""
+    from repro.core.broadcast import (
+        fast_broadcast,
+        fast_broadcast_batch,
+        textbook_broadcast,
+        textbook_broadcast_batch,
+        uniform_random_placement,
+    )
+
+    rng = ensure_rng(seed)
+    placements = [
+        uniform_random_placement(graph.n, int(kk), seed=seed + 17 * j)
+        for j, kk in enumerate(rng.integers(0, max(1, k) + 1, size=3))
+    ]
+    seeds = [int(s) for s in rng.integers(0, 3, size=len(placements))]
+    out = []
+    for backend in ("simulator", "vectorized"):
+        tb = textbook_broadcast_batch(graph, placements, backend=backend)
+        for i, p in enumerate(placements):
+            solo = textbook_broadcast(graph, p, backend=backend)
+            out.extend(
+                _diff_broadcast_result(solo, tb[i], f"textbook-batch[{backend}][{i}]")
+            )
+        fb = fast_broadcast_batch(graph, placements, seeds=seeds, backend=backend)
+        for i, p in enumerate(placements):
+            solo = fast_broadcast(graph, p, seed=seeds[i], backend=backend)
+            out.extend(
+                _diff_broadcast_result(solo, fb[i], f"fast-batch[{backend}][{i}]")
+            )
+    return out
+
+
+def _diff_packing(a, b, label: str) -> list[str]:
+    out = []
+    if a.size != b.size or a.construction_rounds != b.construction_rounds:
+        out.append(f"{label}: size/rounds differ")
+    for i, (ta, tb) in enumerate(zip(a.trees, b.trees)):
+        if ta.root != tb.root or not np.array_equal(ta.parent, tb.parent):
+            out.append(f"{label}: tree {i} differs")
+        elif not np.array_equal(ta.depth_of, tb.depth_of):
+            out.append(f"{label}: tree {i} depths differ")
+    ma, mb = a.class_masks, b.class_masks
+    if (ma is None) != (mb is None) or (
+        ma is not None and any(not np.array_equal(x, y) for x, y in zip(ma, mb))
+    ):
+        out.append(f"{label}: class masks differ")
+    return out
+
+
+def check_packing_candidates(graph: Graph, parts: int, seed) -> list[str]:
+    """Candidate batching == the sequential walks it speculates over.
+
+    ``build_packing_with_retry(batch=3)`` must return the same packing,
+    attempt count, and failure message as the one-seed-at-a-time walk, and
+    ``find_packing_unknown_lambda(lookahead=4)`` the same trace (guesses,
+    validation rounds, seeds, accepted guess) and packing as the sequential
+    halving loop — probes past the winner discarded unrecorded.
+    """
+    from repro.core.lambda_search import find_packing_unknown_lambda
+    from repro.core.tree_packing import build_packing_with_retry
+    from repro.util.errors import ValidationError
+
+    out = []
+    retry = {}
+    for b in (1, 3):
+        try:
+            retry[b] = build_packing_with_retry(
+                graph, parts, seed=seed, backend="vectorized", batch=b
+            )
+        except ValidationError as e:
+            retry[b] = str(e)
+    if isinstance(retry[1], str) or isinstance(retry[3], str):
+        if retry[1] != retry[3]:
+            out.append("packing-retry: sequential and batched failures differ")
+    else:
+        (pk1, n1), (pk3, n3) = retry[1], retry[3]
+        if n1 != n3:
+            out.append(f"packing-retry: attempts {n1} != {n3}")
+        out.extend(_diff_packing(pk1, pk3, "packing-retry"))
+
+    search = {}
+    for lookahead in (1, 4):
+        try:
+            search[lookahead] = find_packing_unknown_lambda(
+                graph, seed=seed, backend="vectorized", lookahead=lookahead
+            )
+        except ValidationError as e:
+            search[lookahead] = str(e)
+    a, b = search[1], search[4]
+    if isinstance(a, str) or isinstance(b, str):
+        if a != b:
+            out.append("lambda-lookahead: sequential and batched failures differ")
+        return out
+    if (a.guesses, a.validation_rounds, a.seeds, a.accepted_guess) != (
+        b.guesses, b.validation_rounds, b.seeds, b.accepted_guess
+    ):
+        out.append("lambda-lookahead: search traces differ")
+    out.extend(_diff_packing(a.packing, b.packing, "lambda-lookahead"))
+    return out
+
+
+def _diff_report(a, b, label: str) -> list[str]:
+    out = []
+    if (a.k, a.redundancy, a.rounds) != (b.k, b.redundancy, b.rounds):
+        out.append(f"{label}: k/redundancy/rounds differ")
+    if a.dropped_messages != b.dropped_messages:
+        out.append(f"{label}: dropped counts differ")
+    if a.per_message_coverage != b.per_message_coverage:
+        out.append(f"{label}: coverage differs")
+    if a.receipts != b.receipts:
+        out.append(f"{label}: receipt sets differ")
+    if a.fault_rng_state != b.fault_rng_state:
+        out.append(f"{label}: fault RNG streams diverged")
+    if (a.total_messages, a.total_bits) != (b.total_messages, b.total_bits):
+        out.append(f"{label}: message/bit totals differ")
+    return out
+
+
+def check_fault_grid(graph: Graph, k: int, seed, parts: int = 2) -> list[str]:
+    """Grid entry points == loops of solo calls, element-wise, both backends.
+
+    Covers :func:`repro.engine.faults.faulty_bfs_grid` (rate-0 plans take
+    the plane sweep; lossy plans fall back to the loop, which must still
+    agree) and :func:`repro.core.resilient.evaluate_fault_grid` over cells
+    mixing redundancy levels, dead edges, drop rates (0, interior, and the
+    total-loss boundary), and fault seeds.
+    """
+    from repro.core.broadcast import uniform_random_placement
+    from repro.core.resilient import (
+        FaultCell,
+        evaluate_fault_grid,
+        redundant_broadcast,
+    )
+    from repro.core.tree_packing import build_packing_with_retry
+    from repro.engine.faults import faulty_bfs, faulty_bfs_grid
+    from repro.util.errors import ValidationError
+
+    rng = ensure_rng(seed)
+    roots = [int(r) for r in rng.integers(0, graph.n, size=3)] + [int(rng.integers(graph.n))]
+    roots[1] = roots[0]  # duplicate (root, ·) queries must share results
+    fault_seeds = [int(s) for s in rng.integers(0, 8, size=len(roots))]
+    out = []
+    plans = [
+        ("rate0", random_fault_plan(graph, seed=seed + 1, rate=0.0)),
+        ("lossy", random_fault_plan(graph, seed=seed + 2, rate=0.3)),
+    ]
+    for tag, plan in plans:
+        for backend in ("vectorized", "simulator"):
+            grid = faulty_bfs_grid(
+                graph, roots, plan=plan, fault_seeds=fault_seeds, backend=backend
+            )
+            for i, (r, s) in enumerate(zip(roots, fault_seeds)):
+                solo = faulty_bfs(
+                    graph, r, plan=plan, fault_seed=s, backend=backend
+                )
+                lbl = f"bfs-grid[{tag}][{backend}][{i}]"
+                out.extend(_diff_bfs(solo.result, grid[i].result, lbl))
+                if solo.dropped != grid[i].dropped:
+                    out.append(f"{lbl}: dropped counts differ")
+                if solo.fault_rng_state != grid[i].fault_rng_state:
+                    out.append(f"{lbl}: fault RNG streams diverged")
+
+    try:
+        packing, _ = build_packing_with_retry(graph, parts, seed=seed, distributed=False)
+    except ValidationError:
+        return out
+    placement = uniform_random_placement(graph.n, k, seed=seed)
+    dead = sorted(plans[0][1].dead_edges)
+    cells = [
+        FaultCell(),
+        FaultCell(redundancy=min(2, packing.size), drop_rate=0.4, fault_seed=seed + 3),
+        FaultCell(dead_edges=frozenset(dead), drop_rate=1.0),
+        FaultCell(redundancy=min(2, packing.size), dead_edges=frozenset(dead)),
+    ]
+    for backend in ("vectorized", "simulator"):
+        grid = evaluate_fault_grid(
+            graph, placement, packing, cells, seed=seed, backend=backend,
+            collect_receipts=True,
+        )
+        for i, c in enumerate(cells):
+            solo = redundant_broadcast(
+                graph,
+                placement,
+                packing,
+                redundancy=c.redundancy,
+                dead_edges=c.dead_edges,
+                drop_rate=c.drop_rate,
+                mobile=c.mobile,
+                seed=seed,
+                fault_seed=c.fault_seed,
+                backend=backend,
+                collect_receipts=True,
+            )
+            out.extend(_diff_report(solo, grid[i], f"fault-grid[{backend}][{i}]"))
     return out
 
 
@@ -1197,6 +1469,14 @@ def verify_equivalence(
             check_faulty_step_strategies(
                 g, k, seed=15_000 * seed + t, parts=parts
             ),
+            check_bfs_batch(
+                g,
+                [root, root, int(rng.integers(n))],
+                edge_mask=masks[0] if t % 2 else None,
+            ),
+            check_broadcast_batch(g, k, seed=16_000 * seed + t),
+            check_packing_candidates(g, parts, seed=17_000 * seed + t),
+            check_fault_grid(g, k, seed=18_000 * seed + t, parts=parts),
             check_redundant_broadcast(
                 g,
                 k,

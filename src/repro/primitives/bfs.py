@@ -32,7 +32,7 @@ from repro.congest.simulator import Simulator
 from repro.graphs.graph import Graph
 from repro.util.errors import ProtocolError, ValidationError
 
-__all__ = ["BFSProgram", "BFSResult", "run_bfs", "run_parallel_bfs"]
+__all__ = ["BFSProgram", "BFSResult", "run_bfs", "run_bfs_batch", "run_parallel_bfs"]
 
 _ANNOUNCE = 0  # payload kind tags (ints keep messages small)
 _CHILD = 1
@@ -272,6 +272,51 @@ def run_bfs(
     for prog in programs:
         prog.finalize()
     return _collect_results(graph, network, programs, {0: root}, result.metrics.rounds)[0]
+
+
+def run_bfs_batch(
+    graph: Graph,
+    roots,
+    edge_mask: np.ndarray | None = None,
+    backend: str = "simulator",
+) -> list[BFSResult]:
+    """Answer many single-root BFS queries over one (masked) graph.
+
+    Element ``i`` of the returned list is bit-identical to
+    ``run_bfs(graph, roots[i], edge_mask=edge_mask, backend=backend)``
+    (parents, dists, children, rounds). Under ``backend="vectorized"``
+    all queries share one :func:`~repro.engine.plane.plane_sweep` — a
+    single layer loop over a bit-packed (queries × nodes) plane — so the
+    per-call dispatch cost is paid once per batch instead of once per
+    root; the simulator backend runs the reference loop of solo calls.
+    Duplicate roots are answered by shared (read-only) result rows.
+    """
+    from repro.engine import validate_backend
+
+    root_list = [int(r) for r in roots]
+    if validate_backend(backend) != "vectorized":
+        return [
+            run_bfs(graph, r, edge_mask=edge_mask, backend=backend)
+            for r in root_list
+        ]
+    for r in root_list:
+        if not (0 <= r < graph.n):
+            raise ValidationError(f"root {r} out of range")
+    from repro.engine.plane import plane_sweep
+
+    indptr, indices = graph.masked_csr(edge_mask)
+    uniq, inverse = np.unique(np.asarray(root_list, dtype=np.int64), return_inverse=True)
+    parent, dist, rounds = plane_sweep(graph.n, indptr, indices, uniq)
+    return [
+        BFSResult(
+            root=root_list[i],
+            parent=parent[inverse[i]],
+            dist=dist[inverse[i]],
+            children=None,
+            rounds=int(rounds[inverse[i]]),
+        )
+        for i in range(len(root_list))
+    ]
 
 
 def run_parallel_bfs(

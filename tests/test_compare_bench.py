@@ -14,7 +14,7 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
 
-from compare_bench import compare, main, walk_seconds  # noqa: E402
+from compare_bench import compare, main, walk_qps, walk_seconds  # noqa: E402
 
 
 OLD = {
@@ -80,6 +80,55 @@ class TestRegressionGate:
         new["e16"]["sweep_seconds"] = 0.9  # 1.8x < 2x
         regressions, _ = compare(OLD, new, threshold=2.0, min_seconds=0.05)
         assert regressions == []
+
+
+class TestThroughputFloor:
+    """ISSUE 9 satellite: *qps leaves gate downward (E18 batched throughput)."""
+
+    OLD = {"e18": {"e18a": {"grid_qps": 1000.0},
+                   "curve": [{"batch": 100, "qps": 20.0}]}}
+
+    def test_walk_qps_flattens_with_identity_labels(self):
+        qps = walk_qps(self.OLD)
+        assert qps == {"e18.e18a.grid_qps": 1000.0,
+                       "e18.curve[batch=100].qps": 20.0}
+
+    def test_throughput_drop_beyond_threshold_fails(self):
+        new = {"e18": {"e18a": {"grid_qps": 400.0},
+                       "curve": [{"batch": 100, "qps": 20.0}]}}
+        regressions, _ = compare(self.OLD, new, threshold=2.0, min_seconds=0.05)
+        assert len(regressions) == 1 and "grid_qps" in regressions[0]
+
+    def test_throughput_within_threshold_passes(self):
+        new = {"e18": {"e18a": {"grid_qps": 600.0},
+                       "curve": [{"batch": 100, "qps": 11.0}]}}
+        regressions, _ = compare(self.OLD, new, threshold=2.0, min_seconds=0.05)
+        assert regressions == []
+
+    def test_throughput_gain_is_never_a_regression(self):
+        new = {"e18": {"e18a": {"grid_qps": 9000.0},
+                       "curve": [{"batch": 100, "qps": 500.0}]}}
+        regressions, _ = compare(self.OLD, new, threshold=2.0, min_seconds=0.05)
+        assert regressions == []
+
+    def test_one_sided_qps_is_a_notice(self):
+        regressions, notes = compare(
+            self.OLD, {"e18": {}}, threshold=2.0, min_seconds=0.05
+        )
+        assert regressions == []
+        assert sum(n.startswith("retired:") for n in notes) == 2
+        regressions, notes = compare(
+            {}, self.OLD, threshold=2.0, min_seconds=0.05
+        )
+        assert regressions == []
+        assert sum(n.startswith("new:") for n in notes) == 2
+
+    def test_qps_gate_exit_code(self, tmp_path):
+        old = tmp_path / "old.json"
+        old.write_text(json.dumps({"grid_qps": 100.0}))
+        new = tmp_path / "new.json"
+        new.write_text(json.dumps({"grid_qps": 10.0}))
+        assert main(["--old", str(old), "--new", str(new)]) == 1
 
 
 class TestMainEntry:
