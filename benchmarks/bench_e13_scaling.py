@@ -31,7 +31,8 @@ from __future__ import annotations
 import os
 import time
 
-from benchmarks.conftest import run_once, write_bench_artifact
+from benchmarks.conftest import run_once, trace_artifact_path, write_bench_artifact
+from repro import obs
 from repro.core import (
     build_packing_with_retry,
     fast_broadcast,
@@ -79,11 +80,25 @@ def run_quick():
         assert ts.phases == text.phases, f"textbook ledger drifted (step={step})"
         assert fs.phases == fast.phases, f"fast ledger drifted (step={step})"
     speedup = out["simulator"][2] / out["vectorized"][2]
+    # Traced rerun: the phase breakdown lands in BENCH_E13.json (so
+    # compare_bench can attribute a wall-clock regression to the phase
+    # that moved) and the Chrome trace artifact goes to CI for the
+    # `repro trace` schema smoke test. The ledger must not move.
+    with obs.use_tracer() as tracer:
+        traced = fast_broadcast(
+            g, pl, lam=20, C=1.5, seed=1, backend="vectorized"
+        )
+    assert traced.phases == fast.phases, "tracing perturbed the ledger"
+    tracer.write(trace_artifact_path())
     write_bench_artifact(
         "e13_quick",
         {"n": 80, "k": 160, "sim_seconds": round(out["simulator"][2], 4),
          "vec_seconds": round(out["vectorized"][2], 4),
-         "speedup": round(speedup, 1)},
+         "speedup": round(speedup, 1),
+         "vec_phases": {
+             name: round(secs, 4)
+             for name, secs in sorted(tracer.phase_totals().items())
+         }},
     )
     return out
 
@@ -198,8 +213,15 @@ def run_experiment():
         text = textbook_broadcast(g, pl, backend="vectorized")
         t_text = time.perf_counter() - t0
         t0 = time.perf_counter()
-        fast = fast_broadcast(g, pl, lam=lam, C=1.5, seed=3, backend="vectorized")
+        with obs.use_tracer() as tracer:
+            fast = fast_broadcast(
+                g, pl, lam=lam, C=1.5, seed=3, backend="vectorized"
+            )
         t_fast = time.perf_counter() - t0
+        fast_phases = {
+            name: round(secs, 3)
+            for name, secs in sorted(tracer.phase_totals().items())
+        }
         # Steady-state split: rebuild the same packing fast_broadcast used
         # (leader is always node 0) and time the broadcast with it
         # prebuilt — the per-instance cost once the one-time decomposition
@@ -229,6 +251,7 @@ def run_experiment():
             "fast_seconds": round(t_fast, 3),
             "packing_seconds": round(t_pack, 3),
             "fast_steady_seconds": round(t_steady, 3),
+            "fast_phases": fast_phases,
         })
         # The inversion gates: the old per-round engine took 16.0 s for
         # fast at n = 10⁵ (and would blow far past these bounds at 10⁶);

@@ -78,12 +78,84 @@ def walk_qps(node, prefix: str = "") -> dict[str, float]:
     return _walk_suffix(node, "qps", prefix)
 
 
+def walk_phases(node, prefix: str = "") -> dict[str, dict[str, float]]:
+    """Flatten ``{path: {phase: seconds}}`` for every dict keyed ``*phases``.
+
+    These are the per-phase breakdowns the traced benchmarks record next
+    to their wall clocks (e.g. ``e13_quick.vec_phases`` beside
+    ``e13_quick.vec_seconds``) — the data :func:`attribute` uses to name
+    the phase behind a regression.
+    """
+    out: dict[str, dict[str, float]] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if (
+                str(key).endswith("phases")
+                and isinstance(value, dict)
+                and value
+                and all(isinstance(v, (int, float)) for v in value.values())
+            ):
+                out[path] = {str(k): float(v) for k, v in value.items()}
+            else:
+                out.update(walk_phases(value, path))
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            out.update(walk_phases(value, f"{prefix}{_entry_label(value, i)}"))
+    return out
+
+
+def attribute(
+    path: str,
+    old_phases: dict[str, dict[str, float]],
+    new_phases: dict[str, dict[str, float]],
+) -> str | None:
+    """Name the phase that moved most behind the regressed timing at ``path``.
+
+    Looks for a sibling ``*phases`` breakdown (same parent object,
+    preferring one whose key shares the timing's stem: ``fast_seconds`` →
+    ``fast_phases``) present in both artifacts, and reports the phase with
+    the largest absolute wall-clock growth. Returns ``None`` when no
+    breakdown is recorded on both sides.
+    """
+    parent, _, leaf = path.rpartition(".")
+    stem = leaf[: -len("seconds")].rstrip("_")
+    candidates = [
+        p for p in new_phases
+        if p in old_phases and p.rpartition(".")[0] == parent
+    ]
+    if not candidates:
+        return None
+    preferred = [
+        p for p in candidates
+        if stem and p.rpartition(".")[2].startswith(stem)
+    ]
+    ppath = sorted(preferred or candidates)[0]
+    old_p, new_p = old_phases[ppath], new_phases[ppath]
+    movers = [
+        (new_p[name] - old_p[name], name)
+        for name in old_p
+        if name in new_p
+    ]
+    if not movers:
+        return None
+    delta, name = max(movers)
+    if delta <= 0:
+        return f"no recorded phase grew ({ppath})"
+    return (
+        f"phase '{name}' moved most: "
+        f"{old_p[name]:.3f}s -> {new_p[name]:.3f}s (+{delta:.3f}s)"
+    )
+
+
 def compare(
     old: dict, new: dict, threshold: float, min_seconds: float
 ) -> tuple[list[str], list[str]]:
     """Returns (regressions, notes); regressions non-empty = gate fails."""
     old_secs = walk_seconds(old)
     new_secs = walk_seconds(new)
+    old_phases = walk_phases(old)
+    new_phases = walk_phases(new)
     regressions: list[str] = []
     notes: list[str] = []
     for path, before in sorted(old_secs.items()):
@@ -97,10 +169,14 @@ def compare(
         if (after - before) < min_seconds:
             continue
         if after > threshold * max(before, 1e-9):
-            regressions.append(
+            line = (
                 f"{path}: {before:.3f}s -> {after:.3f}s "
                 f"({after / max(before, 1e-9):.1f}x > {threshold:.1f}x gate)"
             )
+            blame = attribute(path, old_phases, new_phases)
+            if blame:
+                line += f" — {blame}"
+            regressions.append(line)
     for path in sorted(set(new_secs) - set(old_secs)):
         notes.append(f"new: {path} = {new_secs[path]:.3f}s")
     # Throughput floor: *qps leaves gate downward — batching machinery that

@@ -37,6 +37,16 @@ def bench_artifact_path() -> Path:
     return Path(__file__).resolve().parent.parent / "BENCH_E13.json"
 
 
+def trace_artifact_path() -> Path:
+    """Where the E13 quick-smoke trace artifact lives (repo root by default;
+    override with ``TRACE_E13_PATH``). CI uploads it and runs
+    ``repro trace`` on it as a schema smoke test."""
+    env = os.environ.get("TRACE_E13_PATH")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parent.parent / "TRACE_E13_QUICK.json"
+
+
 def write_bench_artifact(section: str, payload) -> Path:
     """Merge one benchmark's ``payload`` under ``section`` in BENCH_E13.json.
 

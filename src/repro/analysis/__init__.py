@@ -1,6 +1,6 @@
 """``repro lint`` — static invariant checks for the reproduction codebase.
 
-Four AST-based rule families protect the guarantees the dynamic
+Five AST-based rule families protect the guarantees the dynamic
 equivalence harness (:mod:`repro.engine.verify`) can only spot-check:
 
 1. **CONGEST legality** (:mod:`repro.analysis.congest_rules`) — node
@@ -12,6 +12,9 @@ equivalence harness (:mod:`repro.engine.verify`) can only spot-check:
    payload has a pricing rule in :func:`repro.util.bits.bits_for_payload`.
 4. **Backend parity** (:mod:`repro.analysis.parity_rules`) — every
    ``backend=`` entry point is wired into the equivalence harness.
+5. **Observability discipline** (:mod:`repro.analysis.obs_rules`) —
+   timing/memory probes in library code route through ``repro.obs``
+   spans, never ad-hoc ``time.perf_counter``.
 
 Findings can be suppressed per line with ``# repro-lint: disable=<rule>``
 (comma-separate several rules) or per file with
@@ -27,6 +30,7 @@ from pathlib import Path
 from repro.analysis.bits_rules import check_bit_accounting
 from repro.analysis.congest_rules import check_congest_legality
 from repro.analysis.model import RULES, Finding, LintReport
+from repro.analysis.obs_rules import check_obs_discipline
 from repro.analysis.parity_rules import check_backend_parity
 from repro.analysis.rng_rules import check_rng_discipline
 from repro.analysis.walker import ModuleInfo, iter_python_files, parse_module
@@ -41,6 +45,7 @@ __all__ = [
     "check_rng_discipline",
     "check_bit_accounting",
     "check_backend_parity",
+    "check_obs_discipline",
 ]
 
 #: Where the parity rule finds its two cross-reference anchors, relative to
@@ -88,6 +93,7 @@ def run_lint(
         report.findings.extend(check_congest_legality(info))
         report.findings.extend(check_rng_discipline(info))
         report.findings.extend(check_bit_accounting(info))
+        report.findings.extend(check_obs_discipline(info))
 
     verify_module = next(
         (m for m in modules if m.path.as_posix().endswith(VERIFY_SUFFIX)), None

@@ -67,6 +67,11 @@ RULES: dict[str, str] = {
         "engine/verify.py check_* is neither referenced by "
         "tests/test_engine_equivalence.py nor run by verify_equivalence"
     ),
+    "obs-discipline": (
+        "time.perf_counter / resource / tracemalloc used in library code "
+        "outside repro/obs/; route timing and memory probes through "
+        "obs.span(...) so they land in the trace ledger"
+    ),
     "parity-unverified-kernel": (
         "public engine/kernels.py entry point is neither called by an "
         "engine/verify.py check_* nor referenced by "

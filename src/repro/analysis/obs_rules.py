@@ -1,0 +1,101 @@
+"""Observability discipline: timing/memory probes live in ``repro/obs/``.
+
+The tracer (:mod:`repro.obs`) is the one blessed home for wall-clock and
+memory measurement inside the library. Ad-hoc ``time.perf_counter()``
+calls sprinkled through algorithm code bypass the span ledger — their
+cost never shows up in ``repro trace`` reports, and (worse) they tempt
+conditional logic on measured time, which breaks run-to-run determinism.
+The same goes for ``resource.getrusage`` and ``tracemalloc``:
+
+* ``obs-discipline`` — a ``time.perf_counter``/``perf_counter_ns`` call,
+  or any ``resource``/``tracemalloc`` import, in library code
+  (``repro/`` modules) outside ``repro/obs/``. Wrap the region in
+  ``obs.span(...)`` instead so the measurement lands in the trace.
+
+Benchmarks, examples, and tests are harness code — they time whole runs
+from the outside and are exempt. ``repro/obs/`` itself is the
+discipline's home and is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.model import Finding
+from repro.analysis.walker import ModuleInfo
+
+__all__ = ["check_obs_discipline"]
+
+#: ``time`` module attributes whose call is a finding.
+TIMER_CALLS = frozenset({"perf_counter", "perf_counter_ns"})
+
+#: Modules whose import (in scoped library code) is a finding.
+PROBE_MODULES = frozenset({"resource", "tracemalloc"})
+
+
+def _in_scope(info: ModuleInfo) -> bool:
+    """Library modules only: ``repro/`` paths outside ``repro/obs/``."""
+    posix = info.path.as_posix()
+    if "repro/obs/" in posix:
+        return False
+    return "/repro/" in posix or posix.startswith("repro/")
+
+
+def check_obs_discipline(info: ModuleInfo) -> list[Finding]:
+    if not _in_scope(info):
+        return []
+    findings: list[Finding] = []
+    time_aliases: set[str] = set()
+    timer_names: set[str] = set()
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".", 1)[0]
+                if root in PROBE_MODULES:
+                    findings += info.finding(
+                        "obs-discipline",
+                        node,
+                        f"{root} imported in library code; RSS/allocation "
+                        "probes belong in repro/obs/ — record the region "
+                        "with obs.span(...) instead",
+                    )
+                elif alias.name == "time":
+                    time_aliases.add(alias.asname or "time")
+        elif isinstance(node, ast.ImportFrom):
+            module = (node.module or "").split(".", 1)[0]
+            if module in PROBE_MODULES:
+                findings += info.finding(
+                    "obs-discipline",
+                    node,
+                    f"{module} imported in library code; RSS/allocation "
+                    "probes belong in repro/obs/ — record the region with "
+                    "obs.span(...) instead",
+                )
+            elif module == "time":
+                for alias in node.names:
+                    if alias.name in TIMER_CALLS:
+                        timer_names.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in TIMER_CALLS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in (time_aliases or {"time"})
+            ):
+                findings += info.finding(
+                    "obs-discipline",
+                    func,
+                    f"time.{func.attr}() in library code; wall-clock "
+                    "measurement belongs in repro/obs/ — wrap the region in "
+                    "obs.span(...) so it lands in the trace ledger",
+                )
+            elif isinstance(func, ast.Name) and func.id in timer_names:
+                findings += info.finding(
+                    "obs-discipline",
+                    func,
+                    f"{func.id}() in library code; wall-clock measurement "
+                    "belongs in repro/obs/ — wrap the region in "
+                    "obs.span(...) so it lands in the trace ledger",
+                )
+    return findings

@@ -359,6 +359,14 @@ def _cmd_tournament(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro import obs
+
+    data = obs.load_trace(args.trace_file)
+    print(obs.format_report(data, top_counters=args.top))
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis import RULES, run_lint
 
@@ -387,6 +395,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--C", type=float, default=2.0, help="Theorem 2 constant")
 
+    def trace_opt(p):
+        p.add_argument(
+            "--trace",
+            metavar="PATH",
+            default=None,
+            help="record phase spans + kernel counters while the command "
+            "runs and write the artifact to PATH (.jsonl = JSONL, "
+            "anything else = Chrome trace-event JSON for Perfetto); "
+            "inspect it with `repro trace PATH`",
+        )
+
     def backend_opt(p):
         p.add_argument(
             "--backend",
@@ -400,6 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("info", help="graph family parameters")
     p.add_argument("graph")
+    trace_opt(p)
     p.set_defaults(fn=_cmd_info)
 
     p = sub.add_parser("broadcast", help="run a k-broadcast")
@@ -411,6 +431,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["fast", "textbook", "combined", "unknown-lambda"],
         default="fast",
     )
+    trace_opt(p)
     p.set_defaults(fn=_cmd_broadcast)
 
     def roots_opt(p):
@@ -433,6 +454,7 @@ def build_parser() -> argparse.ArgumentParser:
         "plane sweep (bit-identical to batch=1; >1 needs the vectorized "
         "backend to pay off)",
     )
+    trace_opt(p)
     p.set_defaults(fn=_cmd_packing)
 
     p = sub.add_parser("apsp", help="approximate APSP (Theorem 4 / 5)")
@@ -440,6 +462,7 @@ def build_parser() -> argparse.ArgumentParser:
     backend_opt(p)
     p.add_argument("--weighted", action="store_true")
     p.add_argument("--spanner-k", type=int, default=0)
+    trace_opt(p)
     p.set_defaults(fn=_cmd_apsp)
 
     p = sub.add_parser("cuts", help="all-cuts approximation (Theorem 7)")
@@ -447,6 +470,7 @@ def build_parser() -> argparse.ArgumentParser:
     backend_opt(p)
     p.add_argument("--eps", type=float, default=0.4)
     p.add_argument("--tau", type=int, default=3)
+    trace_opt(p)
     p.set_defaults(fn=_cmd_cuts)
 
     p = sub.add_parser(
@@ -485,6 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-seed", type=int, default=None,
                    help="fault-coin seed (defaults to --seed; independent "
                    "of the protocol RNG)")
+    trace_opt(p)
     p.set_defaults(fn=_cmd_resilience)
 
     p = sub.add_parser(
@@ -513,6 +538,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print scenario registry + default defenses and exit")
     p.add_argument("--json", action="store_true",
                    help="emit the full scored payload as JSON")
+    trace_opt(p)
     p.set_defaults(fn=_cmd_tournament)
 
     p = sub.add_parser(
@@ -536,14 +562,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--list-rules", action="store_true", help="print every rule id and exit"
     )
+    trace_opt(p)
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "trace",
+        help="report on a --trace artifact: per-phase wall-clock table "
+        "plus the top counters",
+    )
+    p.add_argument("trace_file", help="JSONL or Chrome trace-event JSON path")
+    p.add_argument("--top", type=int, default=20,
+                   help="number of counters to show (default 20)")
+    p.set_defaults(fn=_cmd_trace)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    trace_path = getattr(args, "trace", None)
     try:
+        if trace_path:
+            from repro import obs
+
+            with obs.use_tracer() as tracer:
+                rc = args.fn(args)
+            tracer.write(trace_path)
+            return rc
         return args.fn(args)
     except (ReproError, ValueError) as err:
         print(f"error: {err}", file=sys.stderr)

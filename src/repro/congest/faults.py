@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping
 
+from repro import obs
 from repro.congest.adversary import FaultPlan
 from repro.congest.network import Network
 from repro.congest.simulator import Simulator
@@ -90,12 +91,17 @@ class FaultySimulator(Simulator):
     def _deliverable(self, rnd: int, eid: int) -> bool:
         if eid in self.dead_edges:
             self.dropped += 1
+            obs.count("faults.dropped")
             return False
         spot = self._mobile.get(rnd)
         if spot is not None and eid in spot:
             self.dropped += 1
+            obs.count("faults.dropped")
             return False
-        if self.drop_rate > 0.0 and self._fault_rng.random() < self.drop_rate:
-            self.dropped += 1
-            return False
+        if self.drop_rate > 0.0:
+            obs.count("rng.fault_coins")
+            if self._fault_rng.random() < self.drop_rate:
+                self.dropped += 1
+                obs.count("faults.dropped")
+                return False
         return True

@@ -30,7 +30,7 @@ class Metrics:
     rounds: int = 0
     total_messages: int = 0
     total_bits: int = 0
-    edge_messages: np.ndarray = field(default=None)  # per undirected edge
+    edge_messages: np.ndarray | None = field(default=None)  # per undirected edge
 
     def __post_init__(self):
         if self.edge_messages is None:
@@ -40,6 +40,24 @@ class Metrics:
         self.total_messages += 1
         self.total_bits += bits
         self.edge_messages[eid] += 1
+
+    def merge(self, other: "Metrics") -> "Metrics":
+        """Fold ``other`` into self (rounds add; per-edge arrays must match).
+
+        Used by the tracer's counter aggregation and anywhere several
+        sub-executions (e.g. per-tree simulator runs) roll up into one
+        ledger.
+        """
+        if other.m != self.m:
+            raise ValueError(
+                f"cannot merge Metrics over different edge sets "
+                f"(m={self.m} vs m={other.m})"
+            )
+        self.rounds += other.rounds
+        self.total_messages += other.total_messages
+        self.total_bits += other.total_bits
+        self.edge_messages += other.edge_messages
+        return self
 
     @property
     def max_congestion(self) -> int:

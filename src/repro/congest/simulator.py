@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from repro import obs
 from repro.congest.metrics import Metrics
 from repro.congest.network import Network
 from repro.congest.program import Context, NodeProgram
@@ -146,6 +147,16 @@ class Simulator:
         metrics = Metrics(m=graph.m)
         budget = self.budget
 
+        with obs.span("simulate.run"):
+            result = self._run_rounds(max_rounds, metrics, budget)
+        obs.count("simulate.rounds", metrics.rounds)
+        obs.count("simulate.messages", metrics.total_messages)
+        obs.count("simulate.bits", metrics.total_bits)
+        return result
+
+    def _run_rounds(
+        self, max_rounds: int, metrics: Metrics, budget: int
+    ) -> SimulationResult:
         # round 0: on_start everywhere
         pending: list[tuple[int, int, object, int]] = []  # (dst, port, payload, eid)
         for v in range(self.n):
@@ -185,6 +196,8 @@ class Simulator:
             # deterministic for the vectorized fault engine
             # (:mod:`repro.engine.faults`) to replicate it bit for bit.
             active = sorted(set(inboxes) | wake_set)
+            obs.count("simulate.activations", len(active))
+            obs.count("simulate.active_peak", len(active), "max")
             wake_set = set()
             for v in active:
                 ctx = self.contexts[v]

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.decomposition import (
     Decomposition,
     num_parts,
@@ -146,19 +147,22 @@ def _number_messages_batch(
         )
     else:
         elect, number = elect_leader, assign_item_numbers
-    leader, r_leader = elect(graph)
-    tree = run_bfs(graph, leader, backend=backend)
+    with obs.span("elect"):
+        leader, r_leader = elect(graph)
+    with obs.span("global_bfs"):
+        tree = run_bfs(graph, leader, backend=backend)
     if not tree.spans():
         raise ValidationError("graph must be connected for broadcast")
     out = []
-    for counts in counts_list:
-        starts, r_num = number(graph, tree, counts)
-        phases = {
-            "leader_election": r_leader,
-            "global_bfs": tree.rounds,
-            "numbering": r_num,
-        }
-        out.append((leader, tree, starts, phases))
+    with obs.span("numbering"):
+        for counts in counts_list:
+            starts, r_num = number(graph, tree, counts)
+            phases = {
+                "leader_election": r_leader,
+                "global_bfs": tree.rounds,
+                "numbering": r_num,
+            }
+            out.append((leader, tree, starts, phases))
     return out
 
 
@@ -208,7 +212,10 @@ def _textbook_tail(graph, placement, tree, starts, phases, verify, backend, step
         }
     else:
         ids = _placement_ids(placement, starts)
-    outcome = _run_pipeline(graph, {0: tree}, {0: ids}, verify, backend, step=step)
+    with obs.span("pipeline"):
+        outcome = _run_pipeline(
+            graph, {0: tree}, {0: ids}, verify, backend, step=step
+        )
     phases["pipeline"] = outcome.rounds
     return BroadcastResult(
         algorithm="textbook",
@@ -254,11 +261,16 @@ def textbook_broadcast_batch(
 
     validate_backend(backend)
     placements = list(placements)
-    numbered = _number_messages_batch(graph, placements, backend)
-    return [
-        _textbook_tail(graph, placement, tree, starts, phases, verify, backend, step)
-        for placement, (_leader, tree, starts, phases) in zip(placements, numbered)
-    ]
+    with obs.span("textbook_broadcast"):
+        numbered = _number_messages_batch(graph, placements, backend)
+        return [
+            _textbook_tail(
+                graph, placement, tree, starts, phases, verify, backend, step
+            )
+            for placement, (_leader, tree, starts, phases) in zip(
+                placements, numbered
+            )
+        ]
 
 
 def fast_broadcast(
@@ -303,34 +315,39 @@ def fast_broadcast(
 
     validate_backend(backend)
     k = sum(placement.values())
-    if lam is None and decomposition is None and packing is None:
-        lam = edge_connectivity(graph)
-    leader, gtree, starts, phases = _number_messages(graph, placement, backend)
+    with obs.span("fast_broadcast"):
+        if lam is None and decomposition is None and packing is None:
+            with obs.span("connectivity"):
+                lam = edge_connectivity(graph)
+        leader, gtree, starts, phases = _number_messages(graph, placement, backend)
 
-    if packing is None:
-        if decomposition is not None:
-            packing = build_tree_packing(
-                decomposition,
-                root=leader,
-                distributed=distributed_packing,
-                backend=backend,
-            )
+        if packing is None:
+            with obs.span("tree_packing"):
+                if decomposition is not None:
+                    packing = build_tree_packing(
+                        decomposition,
+                        root=leader,
+                        distributed=distributed_packing,
+                        backend=backend,
+                    )
+                else:
+                    from repro.core.tree_packing import build_packing_with_retry
+
+                    parts = num_parts(lam, graph.n, C)
+                    packing, _attempts = build_packing_with_retry(
+                        graph,
+                        parts,
+                        seed,
+                        root=leader,
+                        distributed=distributed_packing,
+                        backend=backend,
+                    )
+            phases["tree_packing"] = packing.construction_rounds
         else:
-            from repro.core.tree_packing import build_packing_with_retry
-
-            parts = num_parts(lam, graph.n, C)
-            packing, _attempts = build_packing_with_retry(
-                graph,
-                parts,
-                seed,
-                root=leader,
-                distributed=distributed_packing,
-                backend=backend,
-            )
-        phases["tree_packing"] = packing.construction_rounds
-    else:
-        phases["tree_packing"] = 0
-    return _fast_tail(graph, placement, starts, phases, packing, verify, backend, step)
+            phases["tree_packing"] = 0
+        return _fast_tail(
+            graph, placement, starts, phases, packing, verify, backend, step
+        )
 
 
 def _fast_tail(graph, placement, starts, phases, packing, verify, backend, step):
@@ -350,28 +367,30 @@ def _fast_tail(graph, placement, starts, phases, packing, verify, backend, step)
     per_channel: dict[int, dict[int, list[int] | np.ndarray]] = {
         c: {} for c in range(parts)
     }
-    pairs = [(v, c) for v, c in placement.items() if c > 0]
-    if pairs:
-        v_arr = np.fromiter((v for v, _ in pairs), dtype=np.int64, count=len(pairs))
-        cnt = np.fromiter((c for _, c in pairs), dtype=np.int64, count=len(pairs))
-        node_arr = np.repeat(v_arr, cnt)
-        base = np.repeat(starts[v_arr] - (np.cumsum(cnt) - cnt), cnt)
-        j_arr = base + np.arange(int(cnt.sum()), dtype=np.int64)
-        c_arr = np.minimum((j_arr - 1) // K, parts - 1)
-        order = np.lexsort((j_arr, node_arr, c_arr))
-        nod = node_arr[order]
-        ch = c_arr[order]
-        sorted_ids = j_arr[order]
-        flat = sorted_ids if backend == "vectorized" else sorted_ids.tolist()
-        brk = np.nonzero((ch[1:] != ch[:-1]) | (nod[1:] != nod[:-1]))[0] + 1
-        bounds = np.concatenate(
-            [[0], brk, [len(flat)]] if brk.size else [[0], [len(flat)]]
-        ).tolist()
-        for a, b in zip(bounds[:-1], bounds[1:]):
-            per_channel[int(ch[a])][int(nod[a])] = flat[a:b]
+    with obs.span("channel_split"):
+        pairs = [(v, c) for v, c in placement.items() if c > 0]
+        if pairs:
+            v_arr = np.fromiter((v for v, _ in pairs), dtype=np.int64, count=len(pairs))
+            cnt = np.fromiter((c for _, c in pairs), dtype=np.int64, count=len(pairs))
+            node_arr = np.repeat(v_arr, cnt)
+            base = np.repeat(starts[v_arr] - (np.cumsum(cnt) - cnt), cnt)
+            j_arr = base + np.arange(int(cnt.sum()), dtype=np.int64)
+            c_arr = np.minimum((j_arr - 1) // K, parts - 1)
+            order = np.lexsort((j_arr, node_arr, c_arr))
+            nod = node_arr[order]
+            ch = c_arr[order]
+            sorted_ids = j_arr[order]
+            flat = sorted_ids if backend == "vectorized" else sorted_ids.tolist()
+            brk = np.nonzero((ch[1:] != ch[:-1]) | (nod[1:] != nod[:-1]))[0] + 1
+            bounds = np.concatenate(
+                [[0], brk, [len(flat)]] if brk.size else [[0], [len(flat)]]
+            ).tolist()
+            for a, b in zip(bounds[:-1], bounds[1:]):
+                per_channel[int(ch[a])][int(nod[a])] = flat[a:b]
 
-    trees = {c: _bfs_view(packing, c) for c in range(parts)}
-    outcome = _run_pipeline(graph, trees, per_channel, verify, backend, step=step)
+        trees = {c: _bfs_view(packing, c) for c in range(parts)}
+    with obs.span("pipeline"):
+        outcome = _run_pipeline(graph, trees, per_channel, verify, backend, step=step)
     phases["pipeline"] = outcome.rounds
     return BroadcastResult(
         algorithm="fast",
@@ -420,34 +439,39 @@ def fast_broadcast_batch(
             raise ValidationError(
                 f"seeds length {len(seed_list)} != placements length {len(placements)}"
             )
-    if lam is None:
-        lam = edge_connectivity(graph)
-    numbered = _number_messages_batch(graph, placements, backend)
-    parts = num_parts(lam, graph.n, C)
-    packings: dict[int, TreePacking] = {}
-    results = []
-    for placement, seed, (leader, _gtree, starts, phases) in zip(
-        placements, seed_list, numbered
-    ):
-        packing = packings.get(seed)
-        if packing is None:
-            from repro.core.tree_packing import build_packing_with_retry
+    with obs.span("fast_broadcast"):
+        if lam is None:
+            with obs.span("connectivity"):
+                lam = edge_connectivity(graph)
+        numbered = _number_messages_batch(graph, placements, backend)
+        parts = num_parts(lam, graph.n, C)
+        packings: dict[int, TreePacking] = {}
+        results = []
+        for placement, seed, (leader, _gtree, starts, phases) in zip(
+            placements, seed_list, numbered
+        ):
+            packing = packings.get(seed)
+            if packing is None:
+                from repro.core.tree_packing import build_packing_with_retry
 
-            packing, _attempts = build_packing_with_retry(
-                graph,
-                parts,
-                seed,
-                root=leader,
-                distributed=distributed_packing,
-                backend=backend,
-                batch=4 if backend == "vectorized" else 1,
+                with obs.span("tree_packing"):
+                    packing, _attempts = build_packing_with_retry(
+                        graph,
+                        parts,
+                        seed,
+                        root=leader,
+                        distributed=distributed_packing,
+                        backend=backend,
+                        batch=4 if backend == "vectorized" else 1,
+                    )
+                packings[seed] = packing
+            phases["tree_packing"] = packing.construction_rounds
+            results.append(
+                _fast_tail(
+                    graph, placement, starts, phases, packing, verify, backend, step
+                )
             )
-            packings[seed] = packing
-        phases["tree_packing"] = packing.construction_rounds
-        results.append(
-            _fast_tail(graph, placement, starts, phases, packing, verify, backend, step)
-        )
-    return results
+        return results
 
 
 def _bfs_view(packing: TreePacking, i: int) -> BFSResult:
@@ -488,7 +512,8 @@ def combined_broadcast(
     from repro.theory import predict_fast_rounds, predict_textbook_rounds
 
     if lam is None:
-        lam = edge_connectivity(graph)
+        with obs.span("connectivity"):
+            lam = edge_connectivity(graph)
     k = sum(placement.values())
     D = approx_diameter(graph, samples=4, seed=seed)
     delta = graph.min_degree()

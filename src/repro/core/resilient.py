@@ -26,6 +26,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+from repro import obs
 from repro.congest.adversary import AdversarySchedule, FaultPlan
 from repro.congest.faults import FaultySimulator
 from repro.congest.network import Network
@@ -158,6 +159,7 @@ class DeliveryReport:
         return min(self.per_message_coverage.values()) if self.k else 1.0
 
 
+@obs.traced("redundant_broadcast")
 def redundant_broadcast(
     graph: Graph,
     placement: dict[int, int],
@@ -322,6 +324,7 @@ class FaultCell:
     fault_seed: int | None = None
 
 
+@obs.traced("fault_grid")
 def evaluate_fault_grid(
     graph: Graph,
     placement: dict[int, int],
@@ -466,6 +469,7 @@ class RepairOutcome:
         return self.final.min_coverage - self.initial.min_coverage
 
 
+@obs.traced("coverage_repair")
 def repair_coverage(
     graph: Graph,
     placement: dict[int, int],

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.decomposition import Decomposition
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import bfs_tree
@@ -261,6 +262,7 @@ def resolve_roots(
     )
 
 
+@obs.traced("tree_packing.build")
 def build_tree_packing(
     decomp: Decomposition,
     root: int = 0,
@@ -325,6 +327,7 @@ def build_tree_packing(
     return _packing_from_trees(g, trees, rounds, class_masks=masks)
 
 
+@obs.traced("tree_packing.retry")
 def build_packing_with_retry(
     graph: Graph,
     parts: int,
@@ -395,6 +398,7 @@ def build_packing_with_retry(
                         roots=root_list,
                     )
                     packing.construction_rounds *= attempt + 1
+                    obs.count("packing.attempts", attempt + 1)
                     return packing, attempt + 1
         raise ValidationError(
             f"no spanning {parts}-part decomposition in {max_tries} seeds — "
@@ -416,6 +420,7 @@ def build_packing_with_retry(
             last_error = err
             continue
         packing.construction_rounds *= attempt + 1
+        obs.count("packing.attempts", attempt + 1)
         return packing, attempt + 1
     raise ValidationError(
         f"no spanning {parts}-part decomposition in {max_tries} seeds — "

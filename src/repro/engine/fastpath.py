@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.congest.metrics import Metrics
 from repro.engine.kernels import (
     expand_csr_rows,
@@ -503,60 +504,62 @@ def vectorized_tree_broadcast(
 
     root_own = own[~nonroot]  # one entry per channel, in channel order
     rounds = 0
-    if strategy == "span":
-        sn, sb, se, sr = upcast_spans(up, flat_parents, flat_dist)
-        span_chan = sn // n
-        for ci, cid in enumerate(cids):
-            if per_channel_k[cid] == 0:
-                continue  # no sends on this channel at all
-            sel = span_chan == ci
-            starts = sb[sel]  # disjoint spans, sorted by start
-            ends = se[sel]
-            rates = sr[sel]
-            if root_own[ci]:
-                zero = np.zeros(1, dtype=np.int64)
-                starts = np.concatenate([zero, starts])
-                ends = np.concatenate([zero, ends])
-                rates = np.concatenate([[int(root_own[ci])], rates])
-            t_last = last_send_round_spans(starts, ends, rates)
-            rounds = max(rounds, t_last + int(dists[ci].max()))
-    else:
-        hf, hc, hr = upcast_rounds(up, flat_parents, is_root)
-        for ci, cid in enumerate(cids):
-            if per_channel_k[cid] == 0:
-                continue  # no sends on this channel at all
-            sel = (hf // n) == ci
-            arr_rounds = hr[sel]  # strictly increasing (≤ one batch per round)
-            arr_counts = hc[sel]
-            if root_own[ci]:
-                arr_rounds = np.concatenate([[0], arr_rounds])
-                arr_counts = np.concatenate([[int(root_own[ci])], arr_counts])
-            t_last = _last_send_round(arr_rounds, arr_counts)
-            rounds = max(rounds, t_last + int(dists[ci].max()))
+    with obs.span("upcast"):
+        if strategy == "span":
+            sn, sb, se, sr = upcast_spans(up, flat_parents, flat_dist)
+            span_chan = sn // n
+            for ci, cid in enumerate(cids):
+                if per_channel_k[cid] == 0:
+                    continue  # no sends on this channel at all
+                sel = span_chan == ci
+                starts = sb[sel]  # disjoint spans, sorted by start
+                ends = se[sel]
+                rates = sr[sel]
+                if root_own[ci]:
+                    zero = np.zeros(1, dtype=np.int64)
+                    starts = np.concatenate([zero, starts])
+                    ends = np.concatenate([zero, ends])
+                    rates = np.concatenate([[int(root_own[ci])], rates])
+                t_last = last_send_round_spans(starts, ends, rates)
+                rounds = max(rounds, t_last + int(dists[ci].max()))
+        else:
+            hf, hc, hr = upcast_rounds(up, flat_parents, is_root)
+            for ci, cid in enumerate(cids):
+                if per_channel_k[cid] == 0:
+                    continue  # no sends on this channel at all
+                sel = (hf // n) == ci
+                arr_rounds = hr[sel]  # strictly increasing (≤ one batch per round)
+                arr_counts = hc[sel]
+                if root_own[ci]:
+                    arr_rounds = np.concatenate([[0], arr_rounds])
+                    arr_counts = np.concatenate([[int(root_own[ci])], arr_counts])
+                t_last = _last_send_round(arr_rounds, arr_counts)
+                rounds = max(rounds, t_last + int(dists[ci].max()))
 
     # ---- exact metrics: closed-form congestion and totals ---------------- #
     # One flattened convergecast covers every channel at once (channel
     # blocks are disjoint in flat space), replacing C per-channel layer
     # loops — at depth ~10³ and C trees those Python loops were the
     # dominant metrics cost.
-    sub_flat = _subtree_sums(flat_parents, dists.ravel(), own.ravel())
-    total_bits = 0
-    for ci, cid in enumerate(cids):
-        k_c = per_channel_k[cid]
-        vs = tree_vs[ci]
-        if vs.size == 0:
-            continue
-        sub = sub_flat[ci * n : (ci + 1) * n]
-        # A tree visits each edge once, so the ids are distinct and a plain
-        # fancy-indexed add lands every update (no unbuffered ufunc.at).
-        metrics.edge_messages[tree_eids[ci]] += k_c + sub[vs]
-        # bits: each id crosses (n-1) tree edges down + its origin depth up
-        if chan_bits[ci].size:
-            traversals = dists[ci][chan_origins[ci]] + (n - 1)
-            total_bits += int((chan_bits[ci] * traversals).sum())
-    metrics.rounds = rounds
-    metrics.total_messages = int(metrics.edge_messages.sum())
-    metrics.total_bits = total_bits
+    with obs.span("downcast_metrics"):
+        sub_flat = _subtree_sums(flat_parents, dists.ravel(), own.ravel())
+        total_bits = 0
+        for ci, cid in enumerate(cids):
+            k_c = per_channel_k[cid]
+            vs = tree_vs[ci]
+            if vs.size == 0:
+                continue
+            sub = sub_flat[ci * n : (ci + 1) * n]
+            # A tree visits each edge once, so the ids are distinct and a plain
+            # fancy-indexed add lands every update (no unbuffered ufunc.at).
+            metrics.edge_messages[tree_eids[ci]] += k_c + sub[vs]
+            # bits: each id crosses (n-1) tree edges down + its origin depth up
+            if chan_bits[ci].size:
+                traversals = dists[ci][chan_origins[ci]] + (n - 1)
+                total_bits += int((chan_bits[ci] * traversals).sum())
+        metrics.rounds = rounds
+        metrics.total_messages = int(metrics.edge_messages.sum())
+        metrics.total_bits = total_bits
 
     return TreeBroadcastOutcome(
         rounds=rounds,

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.congest.adversary import FaultPlan
 from repro.engine.kernels import (
     expand_csr_rows,
@@ -94,9 +95,13 @@ class FaultStream:
         if self.rate > 0.0:
             alive_idx = np.nonzero(~drop)[0]
             if alive_idx.size:
+                obs.count("rng.fault_coins", alive_idx.size)
                 coin = self.rng.random(alive_idx.size) < self.rate
                 drop[alive_idx[coin]] = True
-        self.dropped += int(drop.sum())
+        n_dropped = int(drop.sum())
+        self.dropped += n_dropped
+        if n_dropped:
+            obs.count("faults.dropped", n_dropped)
         return ~drop
 
     @property
@@ -231,6 +236,7 @@ def _span_faulty_bfs_total_loss(
     )
 
 
+@obs.traced("faulty_bfs")
 def vectorized_faulty_bfs(
     graph: Graph,
     root: int,
@@ -421,6 +427,7 @@ def faulty_bfs(
     )
 
 
+@obs.traced("faulty_bfs_grid")
 def faulty_bfs_grid(
     graph: Graph,
     roots,
@@ -925,6 +932,7 @@ def _span_faulty_broadcast_total_loss(
     )
 
 
+@obs.traced("faulty_broadcast")
 def vectorized_faulty_broadcast(
     graph: Graph,
     trees: dict[int, BFSResult],

@@ -48,6 +48,7 @@ import os
 
 import numpy as np
 
+from repro import obs
 from repro.util.errors import ValidationError
 
 __all__ = [
@@ -223,8 +224,11 @@ def _bfs_layers_spmv(
     frontier = roots
     d = 0
     while frontier.size:
+        obs.count("kernels.frontier_nodes", frontier.size)
+        obs.count("kernels.frontier_peak", frontier.size, "max")
         arcs = int((indptr[frontier + 1] - indptr[frontier]).sum())
         if arcs >= _SPMV_LAYER_ARCS:
+            obs.count("kernels.spmv_layers")
             if adj is None:
                 adj = sp.csr_matrix(
                     (np.ones(indices.size, dtype=bool), indices, indptr),
@@ -252,6 +256,7 @@ def _bfs_layers_spmv(
             np.not_equal(rows[1:], rows[:-1], out=first[1:])
             parent[frontier[rows[first]]] = nb[good[first]]
         else:
+            obs.count("kernels.gather_layers")
             frontier = _advance_layer(indptr, indices, dist, parent, frontier)
             if not frontier.size:
                 break
@@ -307,6 +312,9 @@ def _bfs_layers_numpy(
     frontier = roots
     d = 0
     while frontier.size:
+        obs.count("kernels.frontier_nodes", frontier.size)
+        obs.count("kernels.frontier_peak", frontier.size, "max")
+        obs.count("kernels.gather_layers")
         frontier = _advance_layer(indptr, indices, dist, parent, frontier)
         if not frontier.size:
             break
@@ -378,8 +386,10 @@ def frontier_sweep(
     dist[roots] = 0
     sp = scipy_sparse() if indices.size >= _SPMV_MIN_ARCS else None
     if sp is not None:
+        obs.count("kernels.spmv_sweeps")
         _bfs_layers_spmv(sp, n, indptr, indices, dist, parent, roots)
     else:
+        obs.count("kernels.gather_sweeps")
         _bfs_layers_numpy(n, indptr, indices, dist, parent, roots)
     parent[roots] = roots
     return parent, dist
@@ -509,6 +519,9 @@ def upcast_spans(
         if nodes.size == 0:
             iv_node = iv_b = iv_e = empty
             continue
+        obs.count("engine.span_batches")
+        obs.count("engine.spans", nodes.size)
+        obs.count("engine.span_batch_peak", nodes.size, "max")
         mo = np.lexsort((starts, nodes))
         iv_node, iv_b, iv_e = _busy_scan(nodes[mo], starts[mo], w[mo])
     if iv_node.size == 0:
@@ -533,6 +546,8 @@ def upcast_rounds(
     hit_round: list[np.ndarray] = []
     r = 0
     while active.size:  # `active` is kept sorted and duplicate-free
+        obs.count("engine.queue_rounds")
+        obs.count("engine.queue_depth_peak", active.size, "max")
         up[active] -= 1  # every nonempty UP queue sends one item to its parent
         r += 1
         tgt = flat_parents[active]

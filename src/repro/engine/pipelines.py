@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.graphs.graph import Graph
 
 __all__ = [
@@ -45,6 +46,7 @@ __all__ = [
 # Theorem 4 step 1 — cluster growth
 # --------------------------------------------------------------------------- #
 
+@obs.traced("clustering.centers")
 def assign_centers(
     graph: Graph, is_center: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray] | None:
@@ -78,6 +80,7 @@ def assign_centers(
     return centers, s
 
 
+@obs.traced("clustering.contract")
 def contract_clusters(graph: Graph, s: np.ndarray, k: int) -> Graph:
     """The virtual cluster graph G_c, in O(m log m).
 
@@ -137,6 +140,7 @@ class _ArcView:
         return s_[head], c_[head], w_[head], e_[head]
 
 
+@obs.traced("spanner.edges")
 def vectorized_spanner_edges(
     graph: Graph, k: int, rng: np.random.Generator, p: float
 ) -> np.ndarray:

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.engine import kernels
 from repro.engine.kernels import expand_csr_rows, frontier_sweep, scipy_sparse
 from repro.util.errors import ValidationError
@@ -147,6 +148,7 @@ class QueryPlane:
             if arcs == 0:
                 break
             if sp is not None and arcs >= kernels._SPMV_LAYER_ARCS:
+                obs.count("plane.spmv_layers")
                 if adj is None:
                     adj = sp.csr_matrix(
                         (
@@ -188,6 +190,7 @@ class QueryPlane:
                     np.not_equal(gr[1:], gr[:-1], out=first[1:])
                     self.parent[nq[gr[first]], nv[gr[first]]] = nb[good[first]]
             else:
+                obs.count("plane.gather_layers")
                 sel, counts, _offs = expand_csr_rows(self.indptr, fv)
                 cand = self.indices[sel]
                 qrep = np.repeat(fq, counts)
@@ -221,6 +224,16 @@ class QueryPlane:
         has_port = self.indptr[self.roots + 1] > self.indptr[self.roots]
         self.rounds = np.where(has_port, self.rounds + 1, 0)
         self._swept = True
+        if obs.enabled():  # occupancy popcount is O(Q·n/64): only when traced
+            occupied = int(
+                np.bitwise_count(self.visited).sum()
+                if hasattr(np, "bitwise_count")
+                else np.unpackbits(
+                    self.visited.view(np.uint8), bitorder="little"
+                ).sum()
+            )
+            obs.count("plane.occupied_cells", occupied)
+            obs.count("plane.cells", self.queries * self.n)
         return self
 
 
@@ -243,9 +256,12 @@ def plane_sweep(
     roots = np.atleast_1d(np.asarray(roots, dtype=np.int64))
     q = int(roots.size)
     chunk = max(1, int(max_cells) // max(1, int(n)))
+    obs.count("plane.queries", q)
     if q <= chunk:
+        obs.count("plane.chunks")
         plane = QueryPlane(n, indptr, indices, roots, seeds=seeds).sweep()
         return plane.parent, plane.dist, plane.rounds
+    obs.count("plane.chunks", -(-q // chunk))
     parent = np.full((q, n), -1, dtype=np.int64)
     dist = np.full((q, n), -1, dtype=np.int64)
     rounds = np.zeros(q, dtype=np.int64)

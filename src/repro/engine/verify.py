@@ -49,6 +49,7 @@ __all__ = [
     "check_root_policies",
     "check_coverage_repair",
     "check_tournament",
+    "check_trace_transparency",
     "EquivalenceReport",
     "verify_equivalence",
 ]
@@ -1411,6 +1412,54 @@ def check_fault_grid(graph: Graph, k: int, seed, parts: int = 2) -> list[str]:
     return out
 
 
+def check_trace_transparency(graph: Graph, k: int, seed, parts: int = 2) -> list[str]:
+    """Tracing is a pure observer: traced == untraced, bit for bit.
+
+    Runs :func:`repro.core.broadcast.fast_broadcast` and a lossy
+    :func:`repro.core.resilient.redundant_broadcast` on both backends with
+    an active :class:`repro.obs.Tracer`, and demands the phase ledger,
+    round counts, congestion, receipts, and the fault RNG end-state match
+    the untraced runs exactly — the null-overhead contract of the
+    observability layer.
+    """
+    from repro import obs
+    from repro.core.broadcast import fast_broadcast, uniform_random_placement
+    from repro.core.resilient import redundant_broadcast
+    from repro.core.tree_packing import build_packing_with_retry
+    from repro.util.errors import ValidationError
+
+    placement = uniform_random_placement(graph.n, k, seed=seed)
+    out = []
+    for backend in ("vectorized", "simulator"):
+        plain = fast_broadcast(graph, placement, seed=seed, backend=backend)
+        with obs.use_tracer() as tracer:
+            traced = fast_broadcast(graph, placement, seed=seed, backend=backend)
+        lbl = f"trace-broadcast[{backend}]"
+        if plain.phases != traced.phases:
+            out.append(f"{lbl}: phase ledgers differ under tracing")
+        if (plain.rounds, plain.parts) != (traced.rounds, traced.parts):
+            out.append(f"{lbl}: rounds/parts differ under tracing")
+        if plain.max_congestion != traced.max_congestion:
+            out.append(f"{lbl}: congestion differs under tracing")
+        if not tracer.spans:
+            out.append(f"{lbl}: tracer recorded no spans")
+
+    try:
+        packing, _ = build_packing_with_retry(graph, parts, seed=seed, distributed=False)
+    except ValidationError:
+        return out
+    for backend in ("vectorized", "simulator"):
+        kwargs = dict(
+            redundancy=min(2, packing.size), drop_rate=0.3, seed=seed,
+            fault_seed=seed + 1, backend=backend, collect_receipts=True,
+        )
+        plain = redundant_broadcast(graph, placement, packing, **kwargs)
+        with obs.use_tracer():
+            traced = redundant_broadcast(graph, placement, packing, **kwargs)
+        out.extend(_diff_report(plain, traced, f"trace-faulty[{backend}]"))
+    return out
+
+
 @dataclass
 class EquivalenceReport:
     """Outcome of one randomized equivalence sweep."""
@@ -1487,6 +1536,7 @@ def verify_equivalence(
             check_root_policies(g, parts, seed=11_000 * seed + t),
             check_coverage_repair(g, k, seed=12_000 * seed + t, parts=parts),
             check_tournament(g, k, seed=13_000 * seed + t) if t % 3 == 0 else [],
+            check_trace_transparency(g, k, seed=19_000 * seed + t, parts=parts),
         ):
             report.checks += 1
             report.mismatches.extend(f"[trial {t}, n={n}] {m}" for m in mismatches)

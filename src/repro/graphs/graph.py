@@ -25,6 +25,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.util.errors import ValidationError
 
 __all__ = ["Graph"]
@@ -246,6 +247,7 @@ class Graph:
         hit = self._masked_csr_cache.get(key)
         if hit is not None:
             self.masked_csr_hits += 1
+            obs.count("graph.masked_csr_hits")
             return hit
         return self._build_masked_csr(key, mask[self._adj_edge_id])
 
@@ -253,6 +255,7 @@ class Graph:
         self, key: bytes, allowed: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
         """Compress the adjacency to ``allowed`` arcs and cache under ``key``."""
+        obs.count("graph.masked_csr_misses")
         indices = self._indices[allowed]
         # Per-row survivor counts as a segment sum of the allowed flags over
         # each adjacency block — the arcs of node v are exactly
@@ -306,6 +309,7 @@ class Graph:
             hit = self._masked_csr_cache.get(key)
             if hit is not None:
                 self.masked_csr_hits += 1
+                obs.count("graph.masked_csr_hits")
                 out[i] = hit
             else:
                 missing.append(i)

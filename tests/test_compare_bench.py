@@ -14,7 +14,14 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
 
-from compare_bench import compare, main, walk_qps, walk_seconds  # noqa: E402
+from compare_bench import (  # noqa: E402
+    attribute,
+    compare,
+    main,
+    walk_phases,
+    walk_qps,
+    walk_seconds,
+)
 
 
 OLD = {
@@ -129,6 +136,78 @@ class TestThroughputFloor:
         new = tmp_path / "new.json"
         new.write_text(json.dumps({"grid_qps": 10.0}))
         assert main(["--old", str(old), "--new", str(new)]) == 1
+
+
+class TestPhaseAttribution:
+    """ISSUE 10 satellite: a wall-clock regression names the phase that
+    moved, using the ``*phases`` breakdowns the traced benches record."""
+
+    OLD = {
+        "e13_quick": {
+            "vec_seconds": 0.10,
+            "vec_phases": {"pipeline": 0.04, "tree_packing": 0.03},
+        }
+    }
+
+    def test_walk_phases_flattens_breakdown_dicts(self):
+        phases = walk_phases(self.OLD)
+        assert phases == {
+            "e13_quick.vec_phases": {"pipeline": 0.04, "tree_packing": 0.03}
+        }
+
+    def test_walk_phases_follows_list_identity_labels(self):
+        node = {"e13d": [{"n": 80, "fast_phases": {"upcast": 1.0}}]}
+        assert walk_phases(node) == {
+            "e13d[n=80].fast_phases": {"upcast": 1.0}
+        }
+
+    def test_regression_is_attributed_to_the_biggest_mover(self):
+        new = {
+            "e13_quick": {
+                "vec_seconds": 0.50,
+                "vec_phases": {"pipeline": 0.42, "tree_packing": 0.04},
+            }
+        }
+        regressions, _ = compare(self.OLD, new, threshold=2.0, min_seconds=0.05)
+        assert len(regressions) == 1
+        assert "phase 'pipeline' moved most" in regressions[0]
+        assert "+0.380s" in regressions[0]
+
+    def test_stem_matching_prefers_the_sibling_breakdown(self):
+        old = {
+            "row": {
+                "fast_seconds": 0.1, "fast_phases": {"a": 0.1},
+                "text_phases": {"b": 0.1},
+            }
+        }
+        new = {
+            "row": {
+                "fast_seconds": 1.0, "fast_phases": {"a": 1.0},
+                "text_phases": {"b": 9.9},
+            }
+        }
+        blame = attribute("row.fast_seconds", walk_phases(old), walk_phases(new))
+        assert "'a'" in blame
+
+    def test_no_breakdown_means_no_attribution(self):
+        old = {"x_seconds": 0.1}
+        new = {"x_seconds": 1.0}
+        regressions, _ = compare(old, new, threshold=2.0, min_seconds=0.05)
+        assert len(regressions) == 1
+        assert "phase" not in regressions[0]
+
+    def test_one_sided_breakdown_is_skipped(self):
+        new = {
+            "e13_quick": {"vec_seconds": 0.50, "vec_phases": {"pipeline": 0.42}}
+        }
+        old = {"e13_quick": {"vec_seconds": 0.10}}
+        regressions, _ = compare(old, new, threshold=2.0, min_seconds=0.05)
+        assert len(regressions) == 1 and "moved most" not in regressions[0]
+
+    def test_shrinking_phases_report_no_grower(self):
+        old_p = {"p.phases": {"a": 1.0}}
+        new_p = {"p.phases": {"a": 0.5}}
+        assert "no recorded phase grew" in attribute("p.x_seconds", old_p, new_p)
 
 
 class TestMainEntry:

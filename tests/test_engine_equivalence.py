@@ -530,5 +530,5 @@ class TestStepStrategyEquivalence:
 class TestHarnessSweep:
     def test_randomized_sweep_is_clean(self):
         report = verify_equivalence(trials=6, seed=11, max_n=20)
-        assert report.checks == 6 * 25
+        assert report.checks == 6 * 26
         assert report.ok, report.mismatches

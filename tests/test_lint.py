@@ -31,6 +31,7 @@ from repro.analysis import (
     check_backend_parity,
     check_bit_accounting,
     check_congest_legality,
+    check_obs_discipline,
     check_rng_discipline,
     run_lint,
 )
@@ -206,6 +207,82 @@ class TestRngDiscipline:
             """,
         )
         assert check_rng_discipline(info) == []
+
+
+class TestObsDiscipline:
+    """ISSUE 10 satellite: timing/memory probes in library code must route
+    through repro/obs/ spans."""
+
+    TIMED = """\
+        import time
+
+        def run():
+            t0 = time.perf_counter()
+            return time.perf_counter() - t0
+        """
+
+    def test_perf_counter_call_in_library_code(self, tmp_path):
+        info = _parse(tmp_path, self.TIMED, name="src/repro/core/fixture.py")
+        findings = check_obs_discipline(info)
+        assert [f.rule for f in findings] == ["obs-discipline"] * 2
+        assert {f.line for f in findings} == {4, 5}
+        assert "obs.span" in findings[0].message
+
+    def test_from_import_alias_is_flagged_at_the_call(self, tmp_path):
+        info = _parse(
+            tmp_path,
+            """\
+            from time import perf_counter as clock
+
+            def run():
+                return clock()
+            """,
+            name="src/repro/engine/fixture.py",
+        )
+        f = _only(check_obs_discipline(info), "obs-discipline")
+        assert f.line == 4
+
+    @pytest.mark.parametrize("probe", ["resource", "tracemalloc"])
+    def test_memory_probe_import_is_flagged(self, tmp_path, probe):
+        info = _parse(
+            tmp_path,
+            f"import {probe}\n",
+            name="src/repro/congest/fixture.py",
+        )
+        f = _only(check_obs_discipline(info), "obs-discipline")
+        assert f.line == 1
+
+    def test_obs_home_is_exempt(self, tmp_path):
+        info = _parse(
+            tmp_path,
+            """\
+            import resource
+            import time
+
+            def run():
+                return time.perf_counter()
+            """,
+            name="src/repro/obs/fixture.py",
+        )
+        assert check_obs_discipline(info) == []
+
+    def test_harness_code_is_exempt(self, tmp_path):
+        for name in ("benchmarks/fixture.py", "examples/fixture.py"):
+            info = _parse(tmp_path, self.TIMED, name=name)
+            assert check_obs_discipline(info) == []
+
+    def test_plain_time_time_is_legal(self, tmp_path):
+        info = _parse(
+            tmp_path,
+            """\
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            name="src/repro/core/fixture.py",
+        )
+        assert check_obs_discipline(info) == []
 
 
 class TestBitAccounting:
